@@ -1,0 +1,96 @@
+// Command energyreport is the analogue of STONNE's energy script: given a
+// counter file produced by the output module (stonne ... -counters out)
+// and the table-based energy model, it computes the per-component and
+// total energy — the Accelergy-style post-processing step of Section III.
+//
+// Usage:
+//
+//	energyreport -counters run.counters [-ms 256] [-gb 108]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/stats"
+)
+
+func main() {
+	counterFile := flag.String("counters", "", "counter file written by the output module")
+	ms := flag.Int("ms", 256, "multiplier switches (for static energy)")
+	gbKB := flag.Int("gb", 108, "global buffer size in KB (for static energy)")
+	flag.Parse()
+	if *counterFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: energyreport -counters <file> [-ms N] [-gb KB]")
+		os.Exit(2)
+	}
+
+	cycles, counters, err := parseCounterFile(*counterFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "energyreport:", err)
+		os.Exit(1)
+	}
+
+	hw := config.MAERILike(*ms, 1) // only MSSize and GBSizeKB matter here
+	hw.GBSizeKB = *gbKB
+	run := &stats.Run{Cycles: cycles, Counters: counters}
+	energy.DefaultTable().Apply(run, &hw)
+
+	fmt.Printf("cycles: %d\n", cycles)
+	var total float64
+	comps := make([]string, 0, len(run.Energy))
+	for c := range run.Energy {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		v := run.Energy[c]
+		total += v
+		fmt.Printf("%-5s %12.4f µJ\n", c, v)
+	}
+	fmt.Printf("%-5s %12.4f µJ\n", "TOTAL", total)
+}
+
+// parseCounterFile reads the "key=value" format of stats.Run.CounterFile.
+func parseCounterFile(path string) (uint64, map[string]uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	counters := map[string]uint64{}
+	var cycles uint64
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(text, "=")
+		if !ok {
+			return 0, nil, fmt.Errorf("%s:%d: not a key=value line: %q", path, line, text)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		if key == "cycles" {
+			cycles = n
+			continue
+		}
+		counters[strings.TrimSpace(key)] = n
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	return cycles, counters, nil
+}

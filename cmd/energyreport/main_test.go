@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseCounterFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.counters")
+	content := `# STONNE counter file: test
+cycles=1234
+gb.reads=100
+mn.mults=500
+
+rn.adders_fan=499
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cycles, counters, err := parseCounterFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1234 {
+		t.Errorf("cycles %d", cycles)
+	}
+	if counters["gb.reads"] != 100 || counters["mn.mults"] != 500 || counters["rn.adders_fan"] != 499 {
+		t.Errorf("counters %v", counters)
+	}
+	if _, ok := counters["cycles"]; ok {
+		t.Error("cycles leaked into the counter map")
+	}
+}
+
+func TestParseCounterFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := parseCounterFile(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("not a kv line\n"), 0o644)
+	if _, _, err := parseCounterFile(bad); err == nil {
+		t.Error("malformed line accepted")
+	}
+	nonnum := filepath.Join(dir, "nonnum")
+	os.WriteFile(nonnum, []byte("gb.reads=abc\n"), 0o644)
+	if _, _, err := parseCounterFile(nonnum); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+}

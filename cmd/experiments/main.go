@@ -1,0 +1,290 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. Each subcommand prints the same rows/series the paper
+// reports; EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Usage:
+//
+//	experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|all> [flags]
+//
+// Flags:
+//
+//	-scale N    spatial scale divisor for the DNN models (default 8);
+//	            1 reproduces the full-resolution workloads (slow)
+//	-models M,S machine tags to run (fig5/fig9; default: all seven)
+//	-images N   input samples per model for fig6 (default 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/dnn"
+	"repro/internal/exp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.Int("scale", 8, "spatial scale divisor for model workloads (1 = full resolution)")
+	modelsFlag := fs.String("models", "", "comma-separated model tags (M,S,A,R,V,S-M,B); empty = all")
+	images := fs.Int("images", 2, "input samples per model (fig6)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	var tags []string
+	if *modelsFlag != "" {
+		tags = strings.Split(*modelsFlag, ",")
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "tablei":
+			return tableI()
+		case "tablev":
+			return tableV()
+		case "fig1a":
+			return fig1("Figure 1a — OS systolic array, STONNE vs analytical", func() ([]exp.Fig1Row, error) { return exp.Fig1a(*scale) })
+		case "fig1b":
+			return fig1("Figure 1b — 128-mult MAERI, bandwidth sweep", func() ([]exp.Fig1Row, error) { return exp.Fig1b(*scale) })
+		case "fig1c":
+			return fig1("Figure 1c — 128-mult SIGMA, sparsity sweep", func() ([]exp.Fig1Row, error) { return exp.Fig1c(*scale) })
+		case "fig5":
+			return fig5(*scale, tags)
+		case "fig6":
+			return fig6(*scale, *images)
+		case "fig7":
+			return fig7(*scale)
+		case "fig9":
+			return fig9(*scale, tags)
+		case "fig9c":
+			return fig9c(*scale)
+		default:
+			usage()
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	var names []string
+	if cmd == "all" {
+		names = []string{"tablei", "tablev", "fig1a", "fig1b", "fig1c", "fig5", "fig6", "fig7", "fig9", "fig9c"}
+	} else {
+		names = []string{cmd}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|all> [-scale N] [-models tags] [-images N]")
+}
+
+func tableI() error {
+	fmt.Println("== Table I — contemporary DNN models ==")
+	fmt.Printf("%-16s %-20s %9s %12s %8s\n", "Model", "Domain", "Sparsity", "MACs(dense)", "Layers")
+	for _, m := range dnn.AllModels() {
+		fmt.Printf("%-16s %-20s %8.0f%% %12.3g %8d\n",
+			m.Name, m.Domain, m.Sparsity*100, float64(m.TotalMACs()), len(m.OffloadedLayers()))
+	}
+	fmt.Println()
+	return nil
+}
+
+func tableV() error {
+	fmt.Println("== Table V — timing validation vs published RTL cycle counts ==")
+	rows, avg, err := exp.TableVRun()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-9s %5s %5s %5s %9s %9s %9s %8s %8s\n",
+		"Design", "Layer", "M", "N", "K", "RTL", "origST", "thisST", "err/RTL", "err/orig")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-9s %5d %5d %5d %9d %9d %9d %7.1f%% %7.1f%%\n",
+			r.Design, r.Layer, r.M, r.N, r.K, r.RTL, r.STONNE, r.Got, 100*r.ErrRTL, 100*r.ErrOrig)
+	}
+	fmt.Printf("average |error| vs RTL: %.2f%% (paper's own STONNE: 1.53%%)\n\n", 100*avg)
+	return nil
+}
+
+func fig1(title string, f func() ([]exp.Fig1Row, error)) error {
+	fmt.Println("==", title, "==")
+	rows, err := f()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s %-10s %12s %12s %8s\n", "Layer", "Config", "ST(cycles)", "AM(cycles)", "ST/AM")
+	for _, r := range rows {
+		fmt.Printf("%-7s %-10s %12d %12.0f %8.2f\n", r.Layer, r.Config, r.ST, r.AM, r.RatioSTOverAM())
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig5(scale int, tags []string) error {
+	fmt.Println("== Figure 5 — TPU vs MAERI vs SIGMA: full-model cycles, energy, area ==")
+	rows, err := exp.Fig5(scale, tags)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-11s %12s %7s %10s  %s\n", "Model", "Arch", "Cycles", "Util", "Energy µJ", "breakdown GB/DN/MN/RN %")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-11s %12d %6.1f%% %10.1f  %s\n",
+			r.Model, r.Arch, r.Cycles, 100*r.Utilization, r.TotalEnergy, breakdownPct(r.EnergyUJ, r.TotalEnergy))
+	}
+	fmt.Println()
+	fmt.Printf("%-11s %12s  %s\n", "Arch", "Area µm²", "breakdown GB/DN/MN/RN %")
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.Arch] {
+			continue
+		}
+		seen[r.Arch] = true
+		fmt.Printf("%-11s %12.0f  %s\n", r.Arch, r.TotalArea, breakdownPct(r.AreaUM2, r.TotalArea))
+	}
+	fmt.Println()
+	// Headline ratios of Section VI-A.
+	agg := map[string]uint64{}
+	en := map[string]float64{}
+	for _, r := range rows {
+		agg[r.Arch] += r.Cycles
+		en[r.Arch] += r.TotalEnergy
+	}
+	if agg["TPU-like"] > 0 && agg["MAERI-like"] > 0 && agg["SIGMA-like"] > 0 {
+		fmt.Printf("speedup MAERI vs TPU: %.2fx (paper ~1.20x) | SIGMA vs MAERI: %.2fx (paper ~1.91x)\n",
+			float64(agg["TPU-like"])/float64(agg["MAERI-like"]),
+			float64(agg["MAERI-like"])/float64(agg["SIGMA-like"]))
+		fmt.Printf("energy SIGMA/MAERI: %.2f (paper ~0.30) | SIGMA/TPU: %.2f (paper ~0.46)\n\n",
+			en["SIGMA-like"]/en["MAERI-like"], en["SIGMA-like"]/en["TPU-like"])
+	}
+	return nil
+}
+
+func breakdownPct(br map[string]float64, total float64) string {
+	if total == 0 {
+		return "-"
+	}
+	keys := []string{"GB", "DN", "MN", "RN"}
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%.0f%%", k, 100*br[k]/total))
+	}
+	return strings.Join(parts, " ")
+}
+
+func fig6(scale, images int) error {
+	fmt.Println("== Figure 6 — SNAPEA vs baseline on four CNNs ==")
+	rows, err := exp.Fig6(scale, images)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %9s %11s %9s %9s\n", "Model", "Speedup", "EnergyNorm", "OpsNorm", "MemNorm")
+	var sp, en, op, me float64
+	for _, r := range rows {
+		fmt.Printf("%-12s %8.2fx %11.2f %9.2f %9.2f\n", r.Model, r.Speedup, r.EnergyNorm, r.OpsNorm, r.MemNorm)
+		sp += r.Speedup
+		en += r.EnergyNorm
+		op += r.OpsNorm
+		me += r.MemNorm
+	}
+	n := float64(len(rows))
+	fmt.Printf("%-12s %8.2fx %11.2f %9.2f %9.2f   (paper: 1.35x, 0.79, 0.70, 0.84)\n\n",
+		"average", sp/n, en/n, op/n, me/n)
+	return nil
+}
+
+func fig7(scale int) error {
+	fmt.Println("== Figure 7 — filter mapping on a 256-MS sparse fabric ==")
+	a, b, err := exp.Fig7(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %s\n", "Model", "avg entire filters per round (7a)")
+	for _, r := range a {
+		fmt.Printf("%-16s %.2f\n", r.Model, r.AvgFilters)
+	}
+	fmt.Println()
+	fmt.Printf("%-16s %s\n", "Model", "first-layer filter sizes, largest 8 (7b)")
+	for _, r := range b {
+		sizes := r.Sizes
+		if len(sizes) > 8 {
+			sizes = sizes[:8]
+		}
+		fmt.Printf("%-16s %v (of %d filters)\n", r.Model, sizes, len(r.Sizes))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig9(scale int, tags []string) error {
+	fmt.Println("== Figure 9a/9b — filter scheduling (NS / RDM / LFF) ==")
+	rows, err := exp.Fig9(scale, tags)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %-6s %12s %7s %12s %12s\n", "Model", "Policy", "Cycles", "Util", "NormRuntime", "NormEnergy")
+	var lffSum float64
+	var lffN int
+	for _, r := range rows {
+		fmt.Printf("%-16s %-6s %12d %6.1f%% %12.3f %12.3f\n",
+			r.Model, r.Policy, r.Cycles, 100*r.Utilization, r.NormRuntime, r.NormEnergy)
+		if r.Policy == "LFF" {
+			lffSum += r.NormRuntime
+			lffN++
+		}
+	}
+	if lffN > 0 {
+		fmt.Printf("LFF mean normalized runtime: %.3f (paper: ~0.93 on average)\n\n", lffSum/float64(lffN))
+	}
+	return nil
+}
+
+func fig9c(scale int) error {
+	fmt.Println("== Figure 9c — Resnets-50 per-layer LFF sensitivity ==")
+	rows, err := exp.Fig9c(scale)
+	if err != nil {
+		return err
+	}
+	// Show the paper's three sensitivity classes: 5 most improved, 4 from
+	// the middle, 5 least improved — 14 representative layers.
+	pick := representative14(len(rows))
+	fmt.Printf("%-16s %12s %11s %9s\n", "Layer", "NormRuntime", "NormEnergy", "UtilGain")
+	for _, i := range pick {
+		r := rows[i]
+		fmt.Printf("%-16s %12.3f %11.3f %8.1f%%\n", r.Layer, r.NormRuntime, r.NormEnergy, 100*r.UtilGain)
+	}
+	fmt.Println()
+	return nil
+}
+
+func representative14(n int) []int {
+	if n <= 14 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	var idx []int
+	for i := 0; i < 5; i++ {
+		idx = append(idx, i)
+	}
+	mid := n / 2
+	for i := mid - 2; i < mid+2; i++ {
+		idx = append(idx, i)
+	}
+	for i := n - 5; i < n; i++ {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	return idx
+}

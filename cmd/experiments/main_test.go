@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestRepresentative14(t *testing.T) {
+	// Fewer rows than 14: all of them, in order.
+	got := representative14(5)
+	if len(got) != 5 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("short case not identity: %v", got)
+			break
+		}
+	}
+	// More rows: 14 indices spanning head, middle, tail.
+	got = representative14(40)
+	if len(got) != 14 {
+		t.Fatalf("len %d", len(got))
+	}
+	seen := map[int]bool{}
+	last := -1
+	for _, v := range got {
+		if v < 0 || v >= 40 || seen[v] || v <= last {
+			t.Fatalf("bad pick: %v", got)
+		}
+		seen[v] = true
+		last = v
+	}
+	if got[0] != 0 || got[len(got)-1] != 39 {
+		t.Errorf("extremes missing: %v", got)
+	}
+}
+
+func TestBreakdownPct(t *testing.T) {
+	br := map[string]float64{"GB": 2, "DN": 1, "MN": 3, "RN": 4}
+	s := breakdownPct(br, 10)
+	want := "GB=20% DN=10% MN=30% RN=40%"
+	if s != want {
+		t.Errorf("got %q want %q", s, want)
+	}
+	if breakdownPct(br, 0) != "-" {
+		t.Error("zero total not handled")
+	}
+}

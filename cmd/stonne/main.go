@@ -1,0 +1,293 @@
+// Command stonne is the "STONNE User Interface" of the paper (Fig. 2):
+// it loads any layer or GEMM with any dimensions onto a selected simulator
+// instance, runs it with deterministic random tensors, and reports the
+// statistics — the fast path for prototyping and debugging without the
+// full DL-framework front end.
+//
+// Examples:
+//
+//	stonne gemm -arch maeri -ms 128 -bw 32 -M 64 -N 64 -K 256
+//	stonne conv -arch tpu -ms 256 -R 3 -S 3 -C 64 -K 64 -X 56 -Y 56
+//	stonne spmm -arch sigma -ms 256 -bw 128 -M 128 -N 128 -K 512 -sparsity 0.8 -policy LFF
+//	stonne gemm -hw my_hw.cfg -M 32 -N 32 -K 64 -json out.json -counters out.counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dnn"
+	"repro/stonne"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	op := os.Args[1]
+	fs := flag.NewFlagSet(op, flag.ExitOnError)
+
+	arch := fs.String("arch", "maeri", "preset architecture: tpu | maeri | sigma | snapea")
+	hwFile := fs.String("hw", "", "hardware configuration file (overrides -arch)")
+	ms := fs.Int("ms", 256, "number of multiplier switches")
+	bw := fs.Int("bw", 128, "GB bandwidth in elements/cycle")
+	mDim := fs.Int("M", 16, "GEMM M")
+	nDim := fs.Int("N", 16, "GEMM N")
+	kDim := fs.Int("K", 16, "GEMM K")
+	rDim := fs.Int("R", 3, "filter rows")
+	sDim := fs.Int("S", 3, "filter columns")
+	cDim := fs.Int("C", 16, "input channels")
+	gDim := fs.Int("G", 1, "groups")
+	kFil := fs.Int("Kf", 16, "filters")
+	xDim := fs.Int("X", 16, "input rows")
+	yDim := fs.Int("Y", 16, "input columns")
+	stride := fs.Int("stride", 1, "stride")
+	pad := fs.Int("pad", 0, "padding")
+	sparsity := fs.Float64("sparsity", 0.8, "MK weight sparsity for spmm")
+	policy := fs.String("policy", "NS", "filter scheduling policy: NS | RDM | LFF")
+	seed := fs.Uint64("seed", 1, "random tensor seed")
+	jsonOut := fs.String("json", "", "write the JSON summary to this file")
+	counterOut := fs.String("counters", "", "write the counter file to this path")
+	modelFile := fs.String("file", "", "JSON model description (model/train subcommands)")
+	weightsFile := fs.String("weights", "", "binary weights file (optional; random weights otherwise)")
+	saveWeights := fs.String("save-weights", "", "write the (generated or trained) weights to this path")
+	label := fs.Int("label", 0, "target class for the train subcommand")
+	lr := fs.Float64("lr", 0.01, "SGD learning rate for the train subcommand")
+	steps := fs.Int("steps", 1, "SGD steps for the train subcommand")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	hw, err := pickHW(*hwFile, *arch, *ms, *bw)
+	if err != nil {
+		fatal(err)
+	}
+	hw.Preloaded = true // user-interface mode runs from preloaded buffers
+
+	inst, err := stonne.CreateInstance(hw)
+	if err != nil {
+		fatal(err)
+	}
+
+	rng := dnn.NewRNG(*seed)
+	randTensor := func(shape ...int) *stonne.Tensor {
+		t := stonne.NewTensor(shape...)
+		for i, d := 0, t.Data(); i < len(d); i++ {
+			d[i] = float32(rng.Normal())
+		}
+		return t
+	}
+
+	var run *stonne.Run
+	switch op {
+	case "gemm":
+		inst.ConfigureDMM()
+		inst.ConfigureData(randTensor(*mDim, *kDim), randTensor(*kDim, *nDim))
+		_, run, err = inst.RunOperation()
+	case "spmm":
+		pol, perr := parsePolicy(*policy)
+		if perr != nil {
+			fatal(perr)
+		}
+		inst.ConfigureSpMM(pol)
+		A := randTensor(*mDim, *kDim)
+		pruneTo(A, *sparsity)
+		inst.ConfigureData(A, randTensor(*kDim, *nDim))
+		_, run, err = inst.RunOperation()
+	case "conv":
+		cs := stonne.ConvShape{
+			R: *rDim, S: *sDim, C: *cDim, G: *gDim, K: *kFil, N: 1,
+			X: *xDim, Y: *yDim, Stride: *stride, Padding: *pad,
+		}
+		if cerr := inst.ConfigureCONV(cs); cerr != nil {
+			fatal(cerr)
+		}
+		w := randTensor(cs.K, cs.C/cs.G, cs.R, cs.S)
+		in := stonne.NewTensor(1, cs.C, cs.X, cs.Y)
+		for i, d := 0, in.Data(); i < len(d); i++ {
+			v := rng.Normal()
+			if v < 0 {
+				v = 0
+			}
+			d[i] = float32(v)
+		}
+		inst.ConfigureData(w, in)
+		_, run, err = inst.RunOperation()
+	case "model":
+		runModelCmd(hw, *modelFile, *weightsFile, *saveWeights, *policy, *seed)
+		return
+	case "train":
+		runTrainCmd(hw, *modelFile, *weightsFile, *saveWeights, *label, *lr, *steps, *seed)
+		return
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("accelerator : %s\n", run.Accelerator)
+	fmt.Printf("operation   : %s (M=%d N=%d K=%d)\n", run.Op, run.M, run.N, run.K)
+	fmt.Printf("cycles      : %d\n", run.Cycles)
+	fmt.Printf("time @1GHz  : %.3f µs\n", run.TimeSeconds(1)*1e6)
+	fmt.Printf("MACs        : %d\n", run.MACs)
+	fmt.Printf("utilization : %.1f%%\n", 100*run.Utilization)
+	fmt.Printf("mem accesses: %d\n", run.MemAccesses)
+	fmt.Printf("energy      : %.3f µJ\n", run.TotalEnergy())
+	for _, comp := range []string{"GB", "DN", "MN", "RN"} {
+		if v, ok := run.Energy[comp]; ok {
+			fmt.Printf("  %-4s %10.4f µJ\n", comp, v)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := run.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+	}
+	if *counterOut != "" {
+		if err := os.WriteFile(*counterOut, []byte(run.CounterFile()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func pickHW(file, arch string, ms, bw int) (stonne.Hardware, error) {
+	if file != "" {
+		inst, err := stonne.CreateInstanceFromFile(file)
+		if err != nil {
+			return stonne.Hardware{}, err
+		}
+		return inst.HW(), nil
+	}
+	switch arch {
+	case "tpu":
+		return stonne.TPULike(ms), nil
+	case "maeri":
+		return stonne.MAERILike(ms, bw), nil
+	case "sigma":
+		return stonne.SIGMALike(ms, bw), nil
+	case "snapea":
+		return stonne.SNAPEALike(ms, bw), nil
+	default:
+		return stonne.Hardware{}, fmt.Errorf("unknown architecture %q", arch)
+	}
+}
+
+func parsePolicy(s string) (stonne.SchedPolicy, error) {
+	switch s {
+	case "NS":
+		return stonne.NoScheduling, nil
+	case "RDM":
+		return stonne.RandomScheduling, nil
+	case "LFF":
+		return stonne.LargestFilterFirst, nil
+	default:
+		return stonne.NoScheduling, fmt.Errorf("unknown policy %q", s)
+	}
+}
+
+func pruneTo(t *stonne.Tensor, sparsity float64) {
+	d := t.Data()
+	rng := dnn.NewRNG(0x9981)
+	for i := range d {
+		if rng.Float64() < sparsity {
+			d[i] = 0
+		}
+	}
+}
+
+// loadModelAndWeights resolves the model/weights flags shared by the
+// model and train subcommands.
+func loadModelAndWeights(modelFile, weightsFile string, seed uint64) (*stonne.Model, *stonne.Weights, *stonne.Tensor) {
+	if modelFile == "" {
+		fatal(fmt.Errorf("the subcommand needs -file <model.json>"))
+	}
+	m, err := stonne.LoadModelFile(modelFile)
+	if err != nil {
+		fatal(err)
+	}
+	var w *stonne.Weights
+	if weightsFile != "" {
+		w, err = stonne.LoadWeightsFile(weightsFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := stonne.CheckWeights(m, w); err != nil {
+			fatal(err)
+		}
+	} else {
+		w = stonne.InitWeights(m, seed)
+		if err := w.Prune(m.Sparsity); err != nil {
+			fatal(err)
+		}
+	}
+	return m, w, stonne.RandomInput(m, seed+1)
+}
+
+// runModelCmd runs a full model from a description file, layer by layer.
+func runModelCmd(hw stonne.Hardware, modelFile, weightsFile, saveWeights, policy string, seed uint64) {
+	m, w, input := loadModelAndWeights(modelFile, weightsFile, seed)
+	pol, err := parsePolicy(policy)
+	if err != nil {
+		fatal(err)
+	}
+	out, mr, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{Policy: pol})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model %s on %s\n\n", m.Name, hw.Name)
+	fmt.Printf("%-14s %-5s %10s %8s %12s\n", "layer", "op", "cycles", "util", "energy µJ")
+	for _, r := range mr.Runs {
+		fmt.Printf("%-14s %-5s %10d %7.1f%% %12.4f\n",
+			r.Layer, r.Op, r.Cycles, 100*r.Utilization, r.TotalEnergy())
+	}
+	fmt.Printf("\ntotal: %d cycles, %.3f µJ, output shape %v\n",
+		mr.TotalCycles(), mr.TotalEnergy(), out.Shape())
+	if saveWeights != "" {
+		if err := w.SaveFile(saveWeights); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runTrainCmd runs SGD steps with every GEMM simulated on the accelerator.
+func runTrainCmd(hw stonne.Hardware, modelFile, weightsFile, saveWeights string, label int, lr float64, steps int, seed uint64) {
+	m, w, input := loadModelAndWeights(modelFile, weightsFile, seed)
+	fmt.Printf("training %s on %s (label %d, lr %g)\n\n", m.Name, hw.Name, label, lr)
+	for step := 0; step < steps; step++ {
+		res, err := stonne.RunTrainingStep(m, w, input, label, hw)
+		if err != nil {
+			fatal(err)
+		}
+		if err := stonne.ApplySGD(w, res.Grads, lr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("step %2d: loss %.4f, %d simulated GEMMs, %d cycles\n",
+			step, res.Loss, len(res.Stats.Runs), res.Stats.TotalCycles())
+	}
+	if saveWeights != "" {
+		if err := w.SaveFile(saveWeights); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("weights saved to %s\n", saveWeights)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: stonne <gemm|conv|spmm|model|train> [flags]
+run "stonne gemm -h" for the flag list`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stonne:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Scheduling is use case 3 (Section VI-C): static filter scheduling on a
+// flexible sparse accelerator. It first replays the paper's Fig. 8 worked
+// example — four sparse filters on an 8-switch SIGMA-like fabric, where
+// Largest-Filter-First turns 4 cycles into 3 — then runs a real sparse
+// model under NS, RDM and LFF and reports the utilization and runtime
+// deltas of Fig. 9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/sched"
+	"repro/stonne"
+)
+
+func main() {
+	tag := flag.String("model", "S", "model tag: M S A R V S-M B")
+	scale := flag.Int("scale", 8, "spatial scale divisor")
+	flag.Parse()
+
+	fig8()
+
+	full, err := stonne.ModelByShort(*tag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := stonne.ScaleSpatial(full, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := stonne.InitWeights(model, 5)
+	if err := weights.Prune(model.Sparsity); err != nil {
+		log.Fatal(err)
+	}
+	input := stonne.RandomInput(model, 77)
+	hw := stonne.SIGMALike(256, 128)
+
+	fmt.Printf("\n%s on %s (%.0f%% sparsity, 1/%d scale)\n\n",
+		full.Name, hw.Name, full.Sparsity*100, *scale)
+	fmt.Printf("%-7s %12s %8s %12s\n", "policy", "cycles", "util", "vs NS")
+	var ns uint64
+	for _, pol := range []stonne.SchedPolicy{
+		stonne.NoScheduling, stonne.RandomScheduling, stonne.LargestFilterFirst,
+	} {
+		_, mr, err := stonne.RunModel(model, weights, input, hw, &stonne.RunOptions{Policy: pol})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pol == stonne.NoScheduling {
+			ns = mr.TotalCycles()
+		}
+		fmt.Printf("%-7s %12d %7.1f%% %11.1f%%\n",
+			pol, mr.TotalCycles(), 100*mr.AvgUtilization(),
+			100*float64(mr.TotalCycles())/float64(ns))
+	}
+}
+
+// fig8 replays the paper's illustration: an 8-MS fabric, four sparse
+// filters of effective sizes 4, 2, 4, 2. Natural order packs {F0,F1} and
+// {F2,F3} (6 switches each, 2 wasted twice); LFF packs {F0,F2} (full) and
+// {F1,F3}, saving a quarter of the cycles.
+func fig8() {
+	const capacity = 8
+	sizes := []int{4, 2, 4, 2}
+	fmt.Println("Fig. 8 worked example — four filters (sizes 4,2,4,2) on 8 switches:")
+	for _, pol := range []sched.Policy{sched.NS, sched.LFF} {
+		rounds := sched.Pack(sizes, capacity, pol, 0)
+		fmt.Printf("  %-3s: %d rounds —", pol, len(rounds))
+		total := 0
+		for _, r := range rounds {
+			used := 0
+			var rows []int
+			for _, c := range r {
+				used += c.Len
+				rows = append(rows, c.Row)
+			}
+			// With a streaming bandwidth of 4 elements/cycle, a round of
+			// `used` mapped switches takes ceil(used/4) cycles per output
+			// column — the arithmetic of the figure.
+			cyc := (used + 3) / 4
+			total += cyc
+			fmt.Printf(" filters %v (%d MS, %d cycles)", rows, used, cyc)
+		}
+		fmt.Printf(" → %d cycles total\n", total)
+	}
+	fmt.Println("  LFF saves 25%, exactly as the figure shows.")
+}

@@ -1,0 +1,87 @@
+// Training demonstrates the extension the paper lists as ongoing work:
+// simulating DNN *training* on the modelled accelerators. Every matrix
+// product of the forward and backward passes — the layer forward GEMMs,
+// the weight-gradient GEMMs (dW = dYᵀ·X) and the input-gradient GEMMs
+// (dX = dY·W) — executes on a simulated fabric, and the example compares
+// how the MAERI-like dense and SIGMA-like sparse compositions handle the
+// same fine-tuning workload (SIGMA's original motivation was exactly these
+// sparse, irregular training GEMMs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/dnn"
+	"repro/stonne"
+)
+
+const netJSON = `{
+  "name": "ft-cnn", "input_channels": 3, "input_size": 16, "sparsity": 0.7,
+  "layers": [
+    {"type": "conv", "name": "c1", "filters": 8, "kernel": 3, "pad": 1},
+    {"type": "relu"},
+    {"type": "maxpool", "window": 2},
+    {"type": "conv", "name": "c2", "filters": 16, "kernel": 3, "pad": 1},
+    {"type": "relu"},
+    {"type": "linear", "name": "fc", "out": 4},
+    {"type": "softmax"}
+  ]
+}`
+
+func main() {
+	steps := flag.Int("steps", 5, "SGD steps")
+	lr := flag.Float64("lr", 0.05, "learning rate")
+	flag.Parse()
+
+	arches := []stonne.Hardware{
+		stonne.MAERILike(128, 64),
+		stonne.SIGMALike(128, 64),
+	}
+	for _, hw := range arches {
+		model, err := parse()
+		if err != nil {
+			log.Fatal(err)
+		}
+		weights := stonne.InitWeights(model, 2026)
+		if err := weights.Prune(model.Sparsity); err != nil {
+			log.Fatal(err)
+		}
+		input := stonne.RandomInput(model, 1)
+		const label = 3
+
+		fmt.Printf("fine-tuning %s (%.0f%% sparse) on %s\n", model.Name, model.Sparsity*100, hw.Name)
+		var totalCycles uint64
+		for step := 0; step < *steps; step++ {
+			res, err := stonne.RunTrainingStep(model, weights, input, label, hw)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := stonne.ApplySGD(weights, res.Grads, *lr); err != nil {
+				log.Fatal(err)
+			}
+			totalCycles += res.Stats.TotalCycles()
+			fmt.Printf("  step %d: loss %.4f  (%d GEMMs, %d cycles, %.3f µJ)\n",
+				step, res.Loss, len(res.Stats.Runs),
+				res.Stats.TotalCycles(), res.Stats.TotalEnergy())
+		}
+		fmt.Printf("  total simulated cycles: %d\n", totalCycles)
+		// The pruned-mask invariant: fine-tuning must not densify.
+		for name, t := range weights.ByLayer {
+			if s := t.Sparsity(); s < model.Sparsity-0.05 {
+				log.Fatalf("layer %s densified to %.2f", name, s)
+			}
+		}
+		fmt.Println("  pruned sparsity mask preserved ✓")
+		fmt.Println()
+	}
+	fmt.Println("The sparse fabric skips every pruned weight in the forward and")
+	fmt.Println("dW products, which is why its per-step cycle count is lower —")
+	fmt.Println("the effect SIGMA was built around.")
+}
+
+func parse() (*stonne.Model, error) {
+	return dnn.ParseModel(strings.NewReader(netJSON))
+}

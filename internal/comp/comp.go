@@ -1,0 +1,195 @@
+// Package comp provides the primitives every simulated hardware module is
+// built from: the Component interface with its per-clock Cycle method
+// (mirroring STONNE's class diagram, Fig. 4 of the paper), bounded FIFOs,
+// data packets, and the hierarchical activity counters that feed the
+// table-based energy model.
+package comp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Component is any hardware module that advances one clock cycle at a time.
+// The accelerator's run loop ticks every configured component once per
+// simulated cycle in pipeline order.
+type Component interface {
+	Name() string
+	Cycle()
+}
+
+// Counters accumulates named activity counts ("mn.mults",
+// "dn.link_traversals", "gb.reads", ...). The energy model multiplies each
+// count by a per-event cost table, exactly as STONNE's counter file +
+// Accelergy-style script does.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Add increments counter key by n.
+func (c *Counters) Add(key string, n uint64) { c.m[key] += n }
+
+// Get returns the current value of key (0 if never touched).
+func (c *Counters) Get(key string) uint64 { return c.m[key] }
+
+// Keys returns all counter names in sorted order.
+func (c *Counters) Keys() []string {
+	keys := make([]string, 0, len(c.m))
+	for k := range c.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot returns a copy of the counter map.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter of other into c.
+func (c *Counters) Merge(other *Counters) {
+	for k, v := range other.m {
+		c.m[k] += v
+	}
+}
+
+// String renders the counters one per line in the customized counter-file
+// format of the output module.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, k := range c.Keys() {
+		fmt.Fprintf(&b, "%s=%d\n", k, c.m[k])
+	}
+	return b.String()
+}
+
+// PacketKind tags what a value travelling the fabric represents.
+type PacketKind uint8
+
+const (
+	WeightPkt PacketKind = iota
+	InputPkt
+	PsumPkt
+	OutputPkt
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case WeightPkt:
+		return "weight"
+	case InputPkt:
+		return "input"
+	case PsumPkt:
+		return "psum"
+	case OutputPkt:
+		return "output"
+	default:
+		return fmt.Sprintf("PacketKind(%d)", int(k))
+	}
+}
+
+// Packet is one element in flight through the fabric.
+type Packet struct {
+	Value float32
+	Kind  PacketKind
+	// VN identifies the virtual neuron / cluster the value belongs to.
+	VN int
+	// Seq is the element's position within its dot product or stream.
+	Seq int
+	// Gen is the stationary-configuration generation. A weight packet with
+	// Gen != 0 lands in the switch's shadow register; an input packet with
+	// Gen != 0 promotes the matching shadow to the live stationary before
+	// multiplying — SIGMA-style double-buffered reconfiguration that lets
+	// consecutive rounds pipeline. Gen 0 is the barrier-synchronized dense
+	// path.
+	Gen uint32
+	// Last marks the final contribution to an accumulation.
+	Last bool
+}
+
+// FIFO is a bounded queue of packets with push/pop activity accounting.
+// A zero-capacity FIFO is unbounded (used for result collection).
+type FIFO struct {
+	name     string
+	capacity int
+	buf      []Packet
+	head     int
+
+	pushes, pops, maxOcc uint64
+}
+
+// NewFIFO returns a FIFO with the given capacity (0 = unbounded).
+func NewFIFO(name string, capacity int) *FIFO {
+	return &FIFO{name: name, capacity: capacity}
+}
+
+// Name returns the FIFO's instance name.
+func (f *FIFO) Name() string { return f.name }
+
+// Len returns the current occupancy.
+func (f *FIFO) Len() int { return len(f.buf) - f.head }
+
+// Full reports whether a push would be rejected.
+func (f *FIFO) Full() bool { return f.capacity > 0 && f.Len() >= f.capacity }
+
+// Empty reports whether the FIFO holds no packets.
+func (f *FIFO) Empty() bool { return f.Len() == 0 }
+
+// Push enqueues p; it returns false (and drops nothing) when full.
+func (f *FIFO) Push(p Packet) bool {
+	if f.Full() {
+		return false
+	}
+	f.buf = append(f.buf, p)
+	f.pushes++
+	if occ := uint64(f.Len()); occ > f.maxOcc {
+		f.maxOcc = occ
+	}
+	return true
+}
+
+// Pop dequeues the oldest packet; ok is false when empty.
+func (f *FIFO) Pop() (p Packet, ok bool) {
+	if f.Empty() {
+		return Packet{}, false
+	}
+	p = f.buf[f.head]
+	f.head++
+	f.pops++
+	// Compact occasionally so the backing array does not grow unboundedly.
+	if f.head > 64 && f.head*2 >= len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return p, true
+}
+
+// Peek returns the oldest packet without removing it.
+func (f *FIFO) Peek() (p Packet, ok bool) {
+	if f.Empty() {
+		return Packet{}, false
+	}
+	return f.buf[f.head], true
+}
+
+// Stats reports lifetime pushes, pops and the high-water occupancy.
+func (f *FIFO) Stats() (pushes, pops, maxOccupancy uint64) {
+	return f.pushes, f.pops, f.maxOcc
+}
+
+// AddTo folds the FIFO's activity into the counter set under
+// "<prefix>.pushes" / "<prefix>.pops".
+func (f *FIFO) AddTo(c *Counters, prefix string) {
+	c.Add(prefix+".pushes", f.pushes)
+	c.Add(prefix+".pops", f.pops)
+}

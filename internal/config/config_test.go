@@ -1,0 +1,118 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, hw := range []Hardware{
+		TPULike(256), TPULike(16),
+		MAERILike(256, 128), MAERILike(32, 4),
+		SIGMALike(128, 128), SNAPEALike(64, 64),
+	} {
+		if err := hw.Validate(); err != nil {
+			t.Errorf("%s: %v", hw.Name, err)
+		}
+	}
+}
+
+func TestTableIVCompositions(t *testing.T) {
+	// Table IV of the paper: controller / DN / MN / RN per architecture.
+	tpu := TPULike(256)
+	if tpu.Ctrl != DenseCtrl || tpu.DN != PointToPointDN || tpu.MN != LinearMN || tpu.RN != LinearRN {
+		t.Errorf("TPU composition wrong: %+v", tpu)
+	}
+	maeri := MAERILike(256, 128)
+	if maeri.Ctrl != DenseCtrl || maeri.DN != TreeDN || maeri.MN != LinearMN ||
+		(maeri.RN != ARTRN && maeri.RN != ARTAccRN) {
+		t.Errorf("MAERI composition wrong: %+v", maeri)
+	}
+	sigma := SIGMALike(256, 128)
+	if sigma.Ctrl != SparseCtrl || sigma.DN != BenesDN || sigma.MN != DisabledMN || sigma.RN != FANRN {
+		t.Errorf("SIGMA composition wrong: %+v", sigma)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Hardware){
+		func(h *Hardware) { h.MSSize = 0 },
+		func(h *Hardware) { h.MSSize = 100 }, // not a power of two
+		func(h *Hardware) { h.DNBandwidth = 0 },
+		func(h *Hardware) { h.RNBandwidth = -1 },
+		func(h *Hardware) { h.GBSizeKB = 0 },
+		func(h *Hardware) { h.FIFODepth = 0 },
+		func(h *Hardware) { h.BytesPerElement = 0 },
+	}
+	for i, mutate := range cases {
+		hw := MAERILike(128, 32)
+		mutate(&hw)
+		if err := hw.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	// Controller/fabric compatibility (Section IV-B: "the configured
+	// memory controller must always be compatible with the substrate").
+	hw := SIGMALike(128, 64)
+	hw.MN = LinearMN
+	if err := hw.Validate(); err == nil {
+		t.Error("sparse controller with Linear MN accepted")
+	}
+	hw2 := MAERILike(128, 64)
+	hw2.DN = BenesDN
+	if err := hw2.Validate(); err == nil {
+		t.Error("dense controller on Benes accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	hw := MAERILike(64, 16)
+	hw.Preloaded = true
+	path := filepath.Join(t.TempDir(), "hw.cfg")
+	if err := hw.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hw {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, hw)
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.cfg")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadFileValidates(t *testing.T) {
+	hw := MAERILike(64, 16)
+	hw.MSSize = 100 // invalid after the fact
+	path := filepath.Join(t.TempDir(), "bad.cfg")
+	if err := hw.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("invalid config file accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if TreeDN.String() != "TN" || BenesDN.String() != "BN" || PointToPointDN.String() != "PoPN" {
+		t.Error("DN strings")
+	}
+	if LinearMN.String() != "LMN" || DisabledMN.String() != "DMN" {
+		t.Error("MN strings")
+	}
+	if ARTRN.String() != "ART" || ARTAccRN.String() != "ART+ACC" || FANRN.String() != "FAN" || LinearRN.String() != "LRN" {
+		t.Error("RN strings")
+	}
+	if DenseCtrl.String() != "dense" || SparseCtrl.String() != "sparse" || SNAPEACtrl.String() != "snapea" {
+		t.Error("ctrl strings")
+	}
+	if OutputStationary.String() != "OS" || WeightStationary.String() != "WS" || InputStationary.String() != "IS" {
+		t.Error("dataflow strings")
+	}
+	if FmtBitmap.String() != "bitmap" || FmtCSR.String() != "csr" {
+		t.Error("format strings")
+	}
+}

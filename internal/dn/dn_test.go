@@ -1,0 +1,240 @@
+package dn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comp"
+)
+
+// collector is a sink that records deliveries and can simulate fullness.
+type collector struct {
+	got     map[int][]comp.Packet
+	rejects map[int]bool
+}
+
+func newCollector() *collector {
+	return &collector{got: map[int][]comp.Packet{}, rejects: map[int]bool{}}
+}
+
+func (c *collector) sink(ms int, p comp.Packet) bool {
+	if c.rejects[ms] {
+		return false
+	}
+	c.got[ms] = append(c.got[ms], p)
+	return true
+}
+
+func (c *collector) probe(ms int, p comp.Packet) bool { return !c.rejects[ms] }
+
+func (c *collector) count() int {
+	n := 0
+	for _, ps := range c.got {
+		n += len(ps)
+	}
+	return n
+}
+
+func TestTreeMulticastSingleCycle(t *testing.T) {
+	ctr := comp.NewCounters()
+	tree := NewTree(16, 4, ctr)
+	col := newCollector()
+	tree.SetSink(col.sink)
+	tree.SetProber(col.probe)
+	// One multicast to 8 destinations = one bandwidth slot.
+	tree.Offer(Delivery{Pkt: comp.Packet{Value: 1}, Dests: []int{0, 1, 2, 3, 4, 5, 6, 7}})
+	tree.Cycle()
+	if col.count() != 8 {
+		t.Fatalf("multicast delivered %d, want 8", col.count())
+	}
+	if ctr.Get("dn.injections") != 1 {
+		t.Errorf("injections = %d, want 1 (multicast is one traversal)", ctr.Get("dn.injections"))
+	}
+}
+
+func TestTreeBandwidthLimit(t *testing.T) {
+	ctr := comp.NewCounters()
+	tree := NewTree(16, 2, ctr)
+	col := newCollector()
+	tree.SetSink(col.sink)
+	for i := 0; i < 5; i++ {
+		tree.Offer(Delivery{Pkt: comp.Packet{Seq: i}, Dests: []int{i}})
+	}
+	tree.Cycle()
+	if col.count() != 2 {
+		t.Fatalf("bw=2 delivered %d in one cycle", col.count())
+	}
+	tree.Cycle()
+	tree.Cycle()
+	if col.count() != 5 || tree.Pending() != 0 {
+		t.Errorf("after 3 cycles delivered %d, pending %d", col.count(), tree.Pending())
+	}
+}
+
+func TestTreeBackpressureIsAtomic(t *testing.T) {
+	ctr := comp.NewCounters()
+	tree := NewTree(8, 4, ctr)
+	col := newCollector()
+	col.rejects[3] = true
+	tree.SetSink(col.sink)
+	tree.SetProber(col.probe)
+	tree.Offer(Delivery{Pkt: comp.Packet{Value: 9}, Dests: []int{1, 3, 5}})
+	tree.Cycle()
+	// Nothing may be delivered: destination 3 is full and multicast is
+	// all-or-nothing (a partial retry would duplicate packets).
+	if col.count() != 0 {
+		t.Fatalf("partial multicast delivered %d packets", col.count())
+	}
+	col.rejects[3] = false
+	tree.Cycle()
+	if col.count() != 3 {
+		t.Errorf("retry delivered %d", col.count())
+	}
+	if len(col.got[1]) != 1 {
+		t.Errorf("destination 1 got %d copies, want exactly 1", len(col.got[1]))
+	}
+}
+
+func TestSteinerEdges(t *testing.T) {
+	tree := NewTree(16, 4, comp.NewCounters())
+	// Full broadcast over N leaves covers all 2N-2 edges.
+	all := make([]int, 16)
+	for i := range all {
+		all[i] = i
+	}
+	if got := tree.steinerEdges(all); got != 30 {
+		t.Errorf("broadcast edges = %d, want 30", got)
+	}
+	// A single leaf is one root-to-leaf path: log2(N) edges.
+	if got := tree.steinerEdges([]int{5}); got != 4 {
+		t.Errorf("unicast edges = %d, want 4", got)
+	}
+	if got := tree.steinerEdges(nil); got != 0 {
+		t.Errorf("empty multicast edges = %d", got)
+	}
+	// Two sibling leaves share all edges except the last level.
+	if got := tree.steinerEdges([]int{0, 1}); got != 5 {
+		t.Errorf("sibling pair edges = %d, want 5", got)
+	}
+	// Repeat with the same generation machinery: results stay stable.
+	if got := tree.steinerEdges(all); got != 30 {
+		t.Errorf("stamped recount = %d, want 30", got)
+	}
+}
+
+func TestBenesPerDestinationBandwidth(t *testing.T) {
+	ctr := comp.NewCounters()
+	bn := NewBenes(16, 4, ctr)
+	col := newCollector()
+	bn.SetSink(col.sink)
+	// One delivery with 6 destinations needs 2 cycles at bw=4: the gather
+	// reads one operand per participating switch.
+	bn.Offer(Delivery{Pkt: comp.Packet{Value: 2}, Dests: []int{0, 1, 2, 3, 4, 5}})
+	bn.Cycle()
+	if col.count() != 4 {
+		t.Fatalf("cycle 1 delivered %d, want 4", col.count())
+	}
+	bn.Cycle()
+	if col.count() != 6 || bn.Pending() != 0 {
+		t.Errorf("cycle 2 delivered %d, pending %d", col.count(), bn.Pending())
+	}
+}
+
+func TestPointToPointUnicastCost(t *testing.T) {
+	ctr := comp.NewCounters()
+	pp := NewPointToPoint(16, 3, ctr)
+	col := newCollector()
+	pp.SetSink(col.sink)
+	pp.Offer(Delivery{Pkt: comp.Packet{}, Dests: []int{0, 1, 2, 3, 4}})
+	pp.Cycle()
+	if col.count() != 3 {
+		t.Fatalf("bw=3 delivered %d", col.count())
+	}
+	pp.Cycle()
+	if col.count() != 5 {
+		t.Errorf("total %d", col.count())
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	ctr := comp.NewCounters()
+	for _, kind := range []string{"TN", "BN", "PoPN"} {
+		n, err := New(kind, 8, 4, ctr)
+		if err != nil || n == nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := New("bogus", 8, 4, ctr); err == nil {
+		t.Error("unknown network accepted")
+	}
+}
+
+func TestOfferQueueCap(t *testing.T) {
+	ctr := comp.NewCounters()
+	tree := NewTree(8, 1, ctr)
+	accepted := 0
+	for i := 0; i < queueCap+10; i++ {
+		if tree.Offer(Delivery{Pkt: comp.Packet{}, Dests: []int{0}}) {
+			accepted++
+		}
+	}
+	if accepted != queueCap {
+		t.Errorf("accepted %d, want %d", accepted, queueCap)
+	}
+	// Empty destination lists are accepted and dropped.
+	if !tree.Offer(Delivery{}) {
+		t.Error("empty delivery rejected")
+	}
+}
+
+// Property: every offered packet is delivered exactly once, in order per
+// destination, regardless of the network kind.
+func TestExactlyOnceDeliveryProperty(t *testing.T) {
+	f := func(seed int64, kindPick uint8) bool {
+		ctr := comp.NewCounters()
+		kinds := []string{"TN", "BN", "PoPN"}
+		n, _ := New(kinds[int(kindPick)%3], 8, 2, ctr)
+		col := newCollector()
+		n.SetSink(col.sink)
+		s := uint64(seed)*2654435761 + 7
+		next := func(m int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(m))
+		}
+		total := 0
+		for i := 0; i < 20; i++ {
+			nd := 1 + next(4)
+			dests := map[int]struct{}{}
+			for len(dests) < nd {
+				dests[next(8)] = struct{}{}
+			}
+			var dl []int
+			for d := range dests {
+				dl = append(dl, d)
+			}
+			n.Offer(Delivery{Pkt: comp.Packet{Seq: i}, Dests: dl})
+			total += nd
+		}
+		for c := 0; c < 200 && n.Pending() > 0; c++ {
+			n.Cycle()
+		}
+		if col.count() != total {
+			return false
+		}
+		for _, ps := range col.got {
+			last := -1
+			for _, p := range ps {
+				if p.Seq <= last {
+					return false // out of order or duplicate
+				}
+				last = p.Seq
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,358 @@
+package dnn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Table I of the paper: the seven contemporary DNN models, their domains and
+// their average weight sparsity after unstructured pruning.
+//
+// Shapes follow the published architectures (MobileNets-V1, SqueezeNet v1.0,
+// AlexNet, ResNet-50, VGG-16, SSD-MobileNets, BERT-base).
+
+// conv is a builder shorthand.
+func conv(name string, class Class, k, c, g, x, r, stride, pad int) Layer {
+	return Layer{
+		Name:  name,
+		Kind:  Conv,
+		Class: class,
+		Conv: tensor.ConvShape{
+			R: r, S: r, C: c, G: g, K: k, N: 1, X: x, Y: x,
+			Stride: stride, Padding: pad,
+		},
+	}
+}
+
+func relu(name string) Layer  { return Layer{Name: name, Kind: ReLU, Class: ClassNA} }
+func bnorm(name string) Layer { return Layer{Name: name, Kind: BatchNorm, Class: ClassNA} }
+
+func maxpool(name string, w, s, p int) Layer {
+	return Layer{Name: name, Kind: MaxPool, Class: ClassNA, Pool: PoolShape{Window: w, Stride: s, Padding: p}}
+}
+
+func avgpool(name string, w, s int) Layer {
+	return Layer{Name: name, Kind: AvgPool, Class: ClassNA, Pool: PoolShape{Window: w, Stride: s}}
+}
+
+func linear(name string, class Class, out, in int) Layer {
+	return Layer{Name: name, Kind: Linear, Class: class, In: in, Out: out}
+}
+
+func flatten(name string) Layer { return Layer{Name: name, Kind: Flatten, Class: ClassNA} }
+
+// AlexNet builds the AlexNet (A) image-classification model, 78% sparsity.
+func AlexNet() *Model {
+	m := &Model{
+		Name: "Alexnet", Short: "A", Domain: "Image Classification",
+		Sparsity: 0.78, InputC: 3, InputXY: 227,
+	}
+	m.Layers = []Layer{
+		conv("conv1", ClassC, 96, 3, 1, 227, 11, 4, 0), relu("relu1"),
+		maxpool("pool1", 3, 2, 0),
+		conv("conv2", ClassC, 256, 96, 2, 27, 5, 1, 2), relu("relu2"),
+		maxpool("pool2", 3, 2, 0),
+		conv("conv3", ClassC, 384, 256, 1, 13, 3, 1, 1), relu("relu3"),
+		conv("conv4", ClassC, 384, 384, 2, 13, 3, 1, 1), relu("relu4"),
+		conv("conv5", ClassC, 256, 384, 2, 13, 3, 1, 1), relu("relu5"),
+		maxpool("pool5", 3, 2, 0),
+		flatten("flatten"),
+		linear("fc6", ClassL, 4096, 256*6*6), relu("relu6"),
+		linear("fc7", ClassL, 4096, 4096), relu("relu7"),
+		linear("fc8", ClassL, 1000, 4096),
+		{Name: "softmax", Kind: Softmax, Class: ClassNA},
+	}
+	return m
+}
+
+// VGG16 builds the VGG-16 (V) model, 90% sparsity.
+func VGG16() *Model {
+	m := &Model{
+		Name: "VGG-16", Short: "V", Domain: "Image Classification",
+		Sparsity: 0.90, InputC: 3, InputXY: 224,
+	}
+	type blk struct{ n, c, x, reps int }
+	blocks := []blk{
+		{64, 3, 224, 2}, {128, 64, 112, 2}, {256, 128, 56, 3},
+		{512, 256, 28, 3}, {512, 512, 14, 3},
+	}
+	for bi, b := range blocks {
+		c := b.c
+		for r := 0; r < b.reps; r++ {
+			name := fmt.Sprintf("conv%d_%d", bi+1, r+1)
+			m.Layers = append(m.Layers,
+				conv(name, ClassC, b.n, c, 1, b.x, 3, 1, 1), relu("relu_"+name))
+			c = b.n
+		}
+		m.Layers = append(m.Layers, maxpool(fmt.Sprintf("pool%d", bi+1), 2, 2, 0))
+	}
+	m.Layers = append(m.Layers,
+		flatten("flatten"),
+		linear("fc6", ClassL, 4096, 512*7*7), relu("relu_fc6"),
+		linear("fc7", ClassL, 4096, 4096), relu("relu_fc7"),
+		linear("fc8", ClassL, 1000, 4096),
+		Layer{Name: "softmax", Kind: Softmax, Class: ClassNA},
+	)
+	return m
+}
+
+// MobileNetsV1 builds the MobileNets-V1 (M) model, 75% sparsity. Its
+// depthwise convolutions are the paper's "Factorized Convolution" class.
+func MobileNetsV1() *Model {
+	m := &Model{
+		Name: "Mobilenets-V1", Short: "M", Domain: "Image Classification",
+		Sparsity: 0.75, InputC: 3, InputXY: 224,
+	}
+	m.Layers = append(m.Layers,
+		conv("conv1", ClassC, 32, 3, 1, 224, 3, 2, 1), bnorm("bn1"), relu("relu1"))
+	type blk struct{ cin, cout, x, stride int }
+	blocks := []blk{
+		{32, 64, 112, 1}, {64, 128, 112, 2}, {128, 128, 56, 1},
+		{128, 256, 56, 2}, {256, 256, 28, 1}, {256, 512, 28, 2},
+		{512, 512, 14, 1}, {512, 512, 14, 1}, {512, 512, 14, 1},
+		{512, 512, 14, 1}, {512, 512, 14, 1}, {512, 1024, 14, 2},
+		{1024, 1024, 7, 1},
+	}
+	for i, b := range blocks {
+		dw := fmt.Sprintf("dw%d", i+2)
+		pw := fmt.Sprintf("pw%d", i+2)
+		xOut := b.x
+		if b.stride == 2 {
+			xOut = b.x / 2
+		}
+		m.Layers = append(m.Layers,
+			conv(dw, ClassFC, b.cin, b.cin, b.cin, b.x, 3, b.stride, 1),
+			bnorm("bn_"+dw), relu("relu_"+dw),
+			conv(pw, ClassC, b.cout, b.cin, 1, xOut, 1, 1, 0),
+			bnorm("bn_"+pw), relu("relu_"+pw),
+		)
+	}
+	m.Layers = append(m.Layers,
+		avgpool("avgpool", 7, 7),
+		flatten("flatten"),
+		linear("fc", ClassL, 1000, 1024),
+		Layer{Name: "softmax", Kind: Softmax, Class: ClassNA},
+	)
+	return m
+}
+
+// SqueezeNet builds the SqueezeNet v1.0 (S) model, 70% sparsity. Squeeze
+// 1×1 convolutions are class SC; expand convolutions class EC.
+func SqueezeNet() *Model {
+	m := &Model{
+		Name: "Squeezenet", Short: "S", Domain: "Image Classification",
+		Sparsity: 0.70, InputC: 3, InputXY: 224,
+	}
+	m.Layers = append(m.Layers,
+		conv("conv1", ClassC, 96, 3, 1, 224, 7, 2, 0), relu("relu1"),
+		maxpool("pool1", 3, 2, 0))
+	// fire(name, cin, squeeze, expand) at spatial size x: a 1×1 squeeze
+	// conv followed by two expand branches (1×1 as a detached side branch,
+	// 3×3 on the main chain) whose outputs are channel-concatenated to
+	// 2·e channels — the real SqueezeNet v1.0 fire module.
+	fire := func(name string, cin, s, e, x int) []Layer {
+		e1 := conv(name+"_expand1x1", ClassEC, e, s, 1, x, 1, 1, 0)
+		e1.Detached = true
+		e1.SaveAs = name + "_e1"
+		return []Layer{
+			conv(name+"_squeeze", ClassSC, s, cin, 1, x, 1, 1, 0), relu(name + "_srelu"),
+			e1,
+			conv(name+"_expand3x3", ClassEC, e, s, 1, x, 3, 1, 1),
+			{Name: name + "_concat", Kind: Concat, Class: ClassNA, SkipFrom: name + "_e1"},
+			relu(name + "_erelu"),
+		}
+	}
+	m.Layers = append(m.Layers, fire("fire2", 96, 16, 64, 54)...)
+	m.Layers = append(m.Layers, fire("fire3", 128, 16, 64, 54)...)
+	m.Layers = append(m.Layers, fire("fire4", 128, 32, 128, 54)...)
+	m.Layers = append(m.Layers, maxpool("pool4", 3, 2, 0))
+	m.Layers = append(m.Layers, fire("fire5", 256, 32, 128, 26)...)
+	m.Layers = append(m.Layers, fire("fire6", 256, 48, 192, 26)...)
+	m.Layers = append(m.Layers, fire("fire7", 384, 48, 192, 26)...)
+	m.Layers = append(m.Layers, fire("fire8", 384, 64, 256, 26)...)
+	m.Layers = append(m.Layers, maxpool("pool8", 3, 2, 0))
+	m.Layers = append(m.Layers, fire("fire9", 512, 64, 256, 12)...)
+	m.Layers = append(m.Layers,
+		conv("conv10", ClassC, 1000, 512, 1, 12, 1, 1, 0), relu("relu10"),
+		avgpool("avgpool", 12, 12),
+		flatten("flatten"),
+		Layer{Name: "softmax", Kind: Softmax, Class: ClassNA},
+	)
+	return m
+}
+
+// ResNet50 builds the ResNet-50 (R) model, 89% sparsity. Bottleneck blocks
+// provide the paper's "Residual Function" class.
+func ResNet50() *Model {
+	m := &Model{
+		Name: "Resnets-50", Short: "R", Domain: "Image Classification",
+		Sparsity: 0.89, InputC: 3, InputXY: 224,
+	}
+	m.Layers = append(m.Layers,
+		conv("conv1", ClassC, 64, 3, 1, 224, 7, 2, 3), bnorm("bn1"), relu("relu1"),
+		maxpool("pool1", 3, 2, 1))
+	type stage struct{ mid, out, x, reps, firstStride int }
+	stages := []stage{
+		{64, 256, 56, 3, 1},
+		{128, 512, 56, 4, 2},
+		{256, 1024, 28, 6, 2},
+		{512, 2048, 14, 3, 2},
+	}
+	cin := 64
+	for si, st := range stages {
+		x := st.x
+		for r := 0; r < st.reps; r++ {
+			stride := 1
+			if r == 0 {
+				stride = st.firstStride
+			}
+			base := fmt.Sprintf("res%d_%d", si+2, r+1)
+			xOut := x
+			if stride == 2 {
+				xOut = x / 2
+			}
+			// Projection shortcut on the first block of each stage. The
+			// projection is a detached side branch: it consumes the block
+			// input and stores the shortcut, while the main chain proceeds
+			// through the bottleneck.
+			if r == 0 {
+				proj := conv(base+"_proj", ClassRF, st.out, cin, 1, x, 1, stride, 0)
+				proj.SaveAs = base + "_skip"
+				proj.Detached = true
+				m.Layers = append(m.Layers, proj)
+			} else {
+				m.Layers = append(m.Layers, Layer{
+					Name: base + "_id", Kind: ReLU, Class: ClassNA, SaveAs: base + "_skip",
+				})
+			}
+			m.Layers = append(m.Layers,
+				conv(base+"_a", ClassRF, st.mid, cin, 1, x, 1, stride, 0),
+				bnorm(base+"_bna"), relu(base+"_rla"),
+				conv(base+"_b", ClassRF, st.mid, st.mid, 1, xOut, 3, 1, 1),
+				bnorm(base+"_bnb"), relu(base+"_rlb"),
+				conv(base+"_c", ClassRF, st.out, st.mid, 1, xOut, 1, 1, 0),
+				bnorm(base+"_bnc"),
+				Layer{Name: base + "_add", Kind: Residual, Class: ClassNA, SkipFrom: base + "_skip"},
+				relu(base+"_rlc"),
+			)
+			cin = st.out
+			x = xOut
+		}
+	}
+	m.Layers = append(m.Layers,
+		avgpool("avgpool", 7, 7),
+		flatten("flatten"),
+		linear("fc", ClassL, 1000, 2048),
+		Layer{Name: "softmax", Kind: Softmax, Class: ClassNA},
+	)
+	return m
+}
+
+// SSDMobileNets builds the SSD-MobileNets (S-M) object-detection model,
+// 75% sparsity: the MobileNets-V1 backbone (without classifier) plus the
+// SSD extra feature layers and prediction heads.
+func SSDMobileNets() *Model {
+	base := MobileNetsV1()
+	m := &Model{
+		Name: "SSD-Mobilenets", Short: "S-M", Domain: "Object Detection",
+		Sparsity: 0.75, InputC: 3, InputXY: 224,
+	}
+	// Backbone: everything up to (not including) the average pool.
+	for _, l := range base.Layers {
+		if l.Name == "avgpool" {
+			break
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	// SSD extra feature layers (1×1 squeeze + 3×3 stride-2), 7×7 → 4 → 2 → 1.
+	extras := []struct {
+		name     string
+		cin, mid int
+		cout, x  int
+	}{
+		{"extra1", 1024, 256, 512, 7},
+		{"extra2", 512, 128, 256, 4},
+		{"extra3", 256, 128, 256, 2},
+	}
+	for _, e := range extras {
+		m.Layers = append(m.Layers,
+			conv(e.name+"_1x1", ClassC, e.mid, e.cin, 1, e.x, 1, 1, 0), relu(e.name+"_r1"),
+			conv(e.name+"_3x3", ClassC, e.cout, e.mid, 1, e.x, 3, 2, 1), relu(e.name+"_r2"),
+		)
+	}
+	// Prediction heads off the last feature map: localization (4 coords ×
+	// 6 anchors, a detached branch) and classification (91 COCO classes ×
+	// 6 anchors, the main chain).
+	locHead := conv("loc_head", ClassC, 24, 256, 1, 1, 1, 1, 0)
+	locHead.Detached = true
+	locHead.SaveAs = "loc"
+	m.Layers = append(m.Layers,
+		locHead,
+		conv("cls_head", ClassC, 546, 256, 1, 1, 1, 1, 0),
+		flatten("flatten"),
+		linear("det_fc", ClassL, 100, 546),
+		Layer{Name: "softmax", Kind: Softmax, Class: ClassNA},
+	)
+	return m
+}
+
+// BERT builds the BERT-base (B) language model, 60% sparsity, sequence
+// length 128. Each of the 12 encoder layers contributes the Q/K/V and
+// output projections plus the attention-score and attention-context GEMMs
+// (class TR) and the two feed-forward projections (class L).
+func BERT() *Model {
+	const (
+		hidden = 768
+		ffn    = 3072
+		seq    = 128
+		layers = 12
+	)
+	m := &Model{
+		Name: "BERT", Short: "B", Domain: "Language Processing",
+		Sparsity: 0.60, SeqLen: seq,
+	}
+	seqLinear := func(name string, class Class, out, in int) Layer {
+		l := linear(name, class, out, in)
+		l.Batch = seq
+		return l
+	}
+	for i := 1; i <= layers; i++ {
+		p := fmt.Sprintf("enc%d_", i)
+		m.Layers = append(m.Layers,
+			seqLinear(p+"q", ClassTR, hidden, hidden),
+			seqLinear(p+"k", ClassTR, hidden, hidden),
+			seqLinear(p+"v", ClassTR, hidden, hidden),
+			// Attention scores QK^T and context SV, per 12 heads merged
+			// into single GEMMs of equivalent MAC volume.
+			Layer{Name: p + "scores", Kind: GEMM, Class: ClassTR, M: seq, N: seq, K: hidden},
+			Layer{Name: p + "context", Kind: GEMM, Class: ClassTR, M: seq, N: hidden, K: seq},
+			seqLinear(p+"attnout", ClassTR, hidden, hidden),
+			seqLinear(p+"ffn_up", ClassL, ffn, hidden),
+			seqLinear(p+"ffn_down", ClassL, hidden, ffn),
+		)
+	}
+	m.Layers = append(m.Layers,
+		seqLinear("cls", ClassL, 2, hidden),
+		Layer{Name: "softmax", Kind: Softmax, Class: ClassNA},
+	)
+	return m
+}
+
+// AllModels returns the seven models of Table I in the paper's order.
+func AllModels() []*Model {
+	return []*Model{
+		MobileNetsV1(), SqueezeNet(), AlexNet(), ResNet50(), VGG16(),
+		SSDMobileNets(), BERT(),
+	}
+}
+
+// ModelByShort looks a model up by its figure tag (M, S, A, R, V, S-M, B).
+func ModelByShort(short string) (*Model, error) {
+	for _, m := range AllModels() {
+		if m.Short == short {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("dnn: no model with tag %q", short)
+}

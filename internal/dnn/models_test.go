@@ -1,0 +1,70 @@
+package dnn
+
+import (
+	"testing"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range AllModels() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestAllModelsHaveOffloadedLayers(t *testing.T) {
+	for _, m := range AllModels() {
+		if n := len(m.OffloadedLayers()); n < 5 {
+			t.Errorf("%s: only %d offloaded layers", m.Name, n)
+		}
+	}
+}
+
+func TestTotalMACsPlausible(t *testing.T) {
+	// Published dense MAC counts (±35%): the layer inventories are the
+	// real architectures, so totals must land near the literature values.
+	want := map[string]float64{
+		"Alexnet":       715e6, // ~0.72 GMACs
+		"VGG-16":        15.5e9,
+		"Resnets-50":    4.1e9,
+		"Mobilenets-V1": 569e6,
+		"Squeezenet":    830e6, // v1.0 with paired expand convs
+	}
+	for _, m := range AllModels() {
+		w, ok := want[m.Name]
+		if !ok {
+			continue
+		}
+		got := float64(m.TotalMACs())
+		if got < w*0.65 || got > w*1.35 {
+			t.Errorf("%s: MACs = %.3g, want within 35%% of %.3g", m.Name, got, w)
+		}
+	}
+}
+
+func TestScaleSpatialValidates(t *testing.T) {
+	for _, m := range AllModels() {
+		for _, f := range []int{2, 4, 8} {
+			s, err := ScaleSpatial(m, f)
+			if err != nil {
+				t.Errorf("%s @1/%d: %v", m.Name, f, err)
+				continue
+			}
+			if s.TotalMACs() >= m.TotalMACs() && m.SeqLen == 0 {
+				t.Errorf("%s @1/%d: MACs did not shrink (%d -> %d)",
+					m.Name, f, m.TotalMACs(), s.TotalMACs())
+			}
+		}
+	}
+}
+
+func TestModelByShort(t *testing.T) {
+	for _, tag := range []string{"M", "S", "A", "R", "V", "S-M", "B"} {
+		if _, err := ModelByShort(tag); err != nil {
+			t.Errorf("tag %s: %v", tag, err)
+		}
+	}
+	if _, err := ModelByShort("nope"); err == nil {
+		t.Error("expected error for unknown tag")
+	}
+}

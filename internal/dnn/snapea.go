@@ -1,0 +1,64 @@
+package dnn
+
+// SNAPEACutSafe returns, per convolution layer name, whether the SNAPEA
+// exact-mode early cut is sound for it: the layer's output must flow into
+// a ReLU through value-preserving operators only — an inference-time batch
+// norm (identity here) or a channel concatenation (elements pass through
+// untouched). A truncated partial sum is ≤ 0 and the true sum is ≤ it, so
+// the ReLU zeroes both. Convolutions feeding residual adds must run to
+// completion: the add mixes the value with another activation, and a
+// truncated operand would change the final result.
+func SNAPEACutSafe(m *Model) map[string]bool {
+	safe := make(map[string]bool)
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		if l.Kind != Conv {
+			continue
+		}
+		if l.Detached {
+			safe[l.Name] = detachedCutSafe(m, l)
+			continue
+		}
+		safe[l.Name] = mainChainCutSafe(m, i)
+	}
+	return safe
+}
+
+// mainChainCutSafe scans forward from layer index i along the main chain.
+func mainChainCutSafe(m *Model, i int) bool {
+	for j := i + 1; j < len(m.Layers); j++ {
+		n := &m.Layers[j]
+		if n.Detached {
+			continue // side branch consumes the same input, not our output
+		}
+		switch n.Kind {
+		case BatchNorm, Concat:
+			continue // value-preserving for the elements flowing through
+		case ReLU:
+			return true
+		default:
+			return false // residual add, pool, softmax, linear, ...
+		}
+	}
+	return false
+}
+
+// detachedCutSafe traces a side branch: its output is consumed by the
+// layer whose SkipFrom names its SaveAs key. Consumption by a Concat keeps
+// elements intact, so the scan continues from there; a Residual add makes
+// the cut unsound.
+func detachedCutSafe(m *Model, l *Layer) bool {
+	for j := range m.Layers {
+		n := &m.Layers[j]
+		if n.SkipFrom != l.SaveAs {
+			continue
+		}
+		switch n.Kind {
+		case Concat:
+			return mainChainCutSafe(m, j)
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func trainModel(t *testing.T) (*Model, *Weights, *tensor.Tensor) {
+	t.Helper()
+	m := &Model{
+		Name: "trainnet", InputC: 2, InputXY: 8,
+		Layers: []Layer{
+			{Name: "conv", Kind: Conv, Conv: tensor.ConvShape{
+				R: 3, S: 3, C: 2, G: 1, K: 4, N: 1, X: 8, Y: 8, Stride: 1, Padding: 1}},
+			{Name: "relu", Kind: ReLU},
+			{Name: "pool", Kind: MaxPool, Pool: PoolShape{Window: 2, Stride: 2}},
+			{Name: "flat", Kind: Flatten},
+			{Name: "fc", Kind: Linear, In: 4 * 4 * 4, Out: 3},
+			{Name: "sm", Kind: Softmax},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := InitWeights(m, 31)
+	return m, w, RandomInput(m, 32)
+}
+
+func TestTrainStepGradientsMatchNumerical(t *testing.T) {
+	m, w, in := trainModel(t)
+	const label = 1
+	res, err := TrainStep(m, w, in, label, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss <= 0 {
+		t.Fatalf("loss %v", res.Loss)
+	}
+	if len(res.Grads) != 2 {
+		t.Fatalf("gradients for %d layers, want 2", len(res.Grads))
+	}
+
+	lossAt := func() float64 {
+		out, err := (&Executor{Model: m, Weights: w}).Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := float64(out.Data()[label])
+		return -math.Log(math.Max(p, 1e-12))
+	}
+
+	// Spot-check analytic vs numerical gradients on both layers.
+	const eps = 1e-2
+	for _, layer := range []string{"conv", "fc"} {
+		wt := w.ByLayer[layer]
+		g := res.Grads[layer]
+		checked := 0
+		for idx := 0; idx < wt.Len() && checked < 5; idx += wt.Len()/5 + 1 {
+			orig := wt.Data()[idx]
+			wt.Data()[idx] = orig + eps
+			up := lossAt()
+			wt.Data()[idx] = orig - eps
+			down := lossAt()
+			wt.Data()[idx] = orig
+			numerical := (up - down) / (2 * eps)
+			analytic := float64(g.Data()[idx])
+			if math.Abs(numerical-analytic) > 2e-2*math.Max(1, math.Abs(numerical)) {
+				t.Errorf("%s[%d]: analytic %.5f vs numerical %.5f", layer, idx, analytic, numerical)
+			}
+			checked++
+		}
+	}
+}
+
+func TestSGDStepReducesLoss(t *testing.T) {
+	m, w, in := trainModel(t)
+	const label = 2
+	first, err := TrainStep(m, w, in, label, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		res, err := TrainStep(m, w, in, label, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplySGD(w, res.Grads, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, err := TrainStep(m, w, in, label, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Loss >= first.Loss {
+		t.Errorf("loss did not decrease: %.4f -> %.4f", first.Loss, last.Loss)
+	}
+}
+
+func TestSGDPreservesPrunedMask(t *testing.T) {
+	m, w, in := trainModel(t)
+	if err := w.Prune(0.6); err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainStep(m, w, in, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplySGD(w, res.Grads, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for name, wt := range w.ByLayer {
+		sp := wt.Sparsity()
+		if sp < 0.55 {
+			t.Errorf("%s: sparsity collapsed to %.2f after SGD", name, sp)
+		}
+	}
+}
+
+// countingGEMM verifies the trainer routes the heavy products through the
+// runner (the simulated-accelerator seam).
+type countingGEMM struct{ tags []string }
+
+func (c *countingGEMM) RunTrainGEMM(a, b *tensor.Tensor, tag string) (*tensor.Tensor, error) {
+	c.tags = append(c.tags, tag)
+	return tensor.MatMul(a, b)
+}
+
+func TestTrainStepOffloadsGEMMs(t *testing.T) {
+	m, w, in := trainModel(t)
+	run := &countingGEMM{}
+	if _, err := TrainStep(m, w, in, 0, run); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"conv.fwd": true, "fc.fwd": true,
+		"conv.dW": true, "conv.dX": true,
+		"fc.dW": true, "fc.dX": true,
+	}
+	got := map[string]bool{}
+	for _, tag := range run.tags {
+		got[tag] = true
+	}
+	for tag := range want {
+		if !got[tag] {
+			t.Errorf("GEMM %s never offloaded (got %v)", tag, run.tags)
+		}
+	}
+}
+
+func TestTrainStepRejectsSkipGraphs(t *testing.T) {
+	m, err := ScaleSpatial(ResNet50(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := InitWeights(m, 1)
+	if _, err := TrainStep(m, w, RandomInput(m, 1), 0, nil); err == nil {
+		t.Error("residual model accepted")
+	}
+}
+
+func TestTrainStepErrors(t *testing.T) {
+	m, w, in := trainModel(t)
+	if _, err := TrainStep(m, w, in, 99, nil); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	noSM := &Model{Name: "x", InputC: 1, InputXY: 4, Layers: []Layer{
+		{Name: "fc", Kind: Linear, In: 16, Out: 2},
+	}}
+	wx := InitWeights(noSM, 1)
+	if _, err := TrainStep(noSM, wx, RandomInput(noSM, 1), 0, nil); err == nil {
+		t.Error("model without softmax accepted")
+	}
+}

@@ -1,0 +1,195 @@
+package dnn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// RNG is a splitmix64-based PRNG. We carry our own generator rather than
+// math/rand so that weight tensors — and therefore every sparse cycle count
+// in EXPERIMENTS.md — are reproducible byte-for-byte across Go releases.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded from s.
+func NewRNG(s uint64) *RNG { return &RNG{state: s} }
+
+// Uint64 returns the next 64 random bits (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dnn: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns a standard normal sample (Box–Muller).
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Perm returns a random permutation of [0,n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Weights holds every trained tensor of a model keyed by layer name.
+type Weights struct {
+	ByLayer map[string]*tensor.Tensor
+}
+
+// InitWeights generates deterministic He-initialized weights for every
+// weighted layer of the model (Conv and Linear; GEMM layers are
+// activation×activation and carry no weights).
+//
+// Two per-filter statistics of really-trained, pruned networks are
+// emulated, because data-dependent results hinge on them:
+//
+//   - per-filter magnitude scale, log-uniform in [0.5, 2]: under global
+//     magnitude pruning this yields the strongly non-uniform per-filter
+//     non-zero counts of Fig. 7b, which the LFF scheduling study exploits;
+//   - a selective negative bias on half the filters: trained conv filters
+//     act as detectors whose outputs are deeply negative off-pattern, the
+//     property SNAPEA's early termination monetizes. Purely symmetric
+//     random weights would cross zero only near the end of the dot
+//     product and hide the effect.
+func InitWeights(m *Model, seed uint64) *Weights {
+	w := &Weights{ByLayer: make(map[string]*tensor.Tensor)}
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		rng := NewRNG(seed ^ hashName(m.Name+"/"+l.Name))
+		fill := func(t *tensor.Tensor, rows, cols int, std float64) {
+			d := t.Data()
+			for r := 0; r < rows; r++ {
+				scale := math.Exp((rng.Float64()*2 - 1) * math.Ln2) // [0.5, 2]
+				shift := 0.0
+				if rng.Float64() < 0.5 {
+					shift = -0.2 * scale * std // selective filter
+				}
+				for c := 0; c < cols; c++ {
+					d[r*cols+c] = float32(rng.Normal()*scale*std + shift)
+				}
+			}
+		}
+		switch l.Kind {
+		case Conv:
+			cs := l.Conv
+			t := tensor.New(cs.K, cs.C/cs.G, cs.R, cs.S)
+			fanIn := float64(cs.R * cs.S * cs.C / cs.G)
+			fill(t, cs.K, cs.C/cs.G*cs.R*cs.S, math.Sqrt(2/fanIn))
+			w.ByLayer[l.Name] = t
+		case Linear:
+			t := tensor.New(l.Out, l.In)
+			fill(t, l.Out, l.In, math.Sqrt(2/float64(l.In)))
+			w.ByLayer[l.Name] = t
+		}
+	}
+	return w
+}
+
+func hashName(s string) uint64 {
+	// FNV-1a, inlined to avoid importing hash/fnv for four lines.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Prune applies unstructured magnitude pruning (Zhu & Gupta style) to every
+// weighted layer so that the global weight sparsity of the model reaches the
+// target ratio in [0,1). Per-layer ratios equal the global ratio, matching
+// the uniform unstructured scheme the paper cites.
+func (w *Weights) Prune(target float64) error {
+	if target < 0 || target >= 1 {
+		return fmt.Errorf("dnn: pruning target %.2f out of [0,1)", target)
+	}
+	if target == 0 {
+		return nil
+	}
+	for name, t := range w.ByLayer {
+		if err := pruneTensor(t, target); err != nil {
+			return fmt.Errorf("dnn: pruning %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func pruneTensor(t *tensor.Tensor, target float64) error {
+	d := t.Data()
+	n := len(d)
+	drop := int(math.Round(target * float64(n)))
+	if drop == 0 {
+		return nil
+	}
+	if drop >= n {
+		drop = n - 1 // never prune a layer to fully zero
+	}
+	mags := make([]float64, n)
+	for i, v := range d {
+		mags[i] = math.Abs(float64(v))
+	}
+	sort.Float64s(mags)
+	threshold := mags[drop-1]
+	zeroed := 0
+	for i, v := range d {
+		if math.Abs(float64(v)) <= threshold && zeroed < drop {
+			d[i] = 0
+			zeroed++
+		}
+	}
+	return nil
+}
+
+// RandomInput builds a deterministic input activation tensor for the model:
+// (1, C, X, Y) for image models, (SeqLen, hidden) for sequence models.
+// Values follow ReLU-style statistics (non-negative with zeros), since
+// data-dependent optimizations such as SNAPEA are sensitive to the sign
+// distribution of activations.
+func RandomInput(m *Model, seed uint64) *tensor.Tensor {
+	rng := NewRNG(seed ^ hashName(m.Name+"/input"))
+	var t *tensor.Tensor
+	if m.SeqLen > 0 {
+		t = tensor.New(m.SeqLen, hiddenOf(m))
+	} else {
+		t = tensor.New(1, m.InputC, m.InputXY, m.InputXY)
+	}
+	d := t.Data()
+	for i := range d {
+		v := rng.Normal()
+		if v < 0 {
+			v = 0 // mimic post-ReLU input statistics
+		}
+		d[i] = float32(v)
+	}
+	return t
+}

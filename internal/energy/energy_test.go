@@ -1,0 +1,117 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func TestAreaFractionsMatchPaper(t *testing.T) {
+	// The Fig. 5c calibration targets at 256 MS / 108 KB GB: the Global
+	// Buffer is 70% of the MAERI-like total, 77% of SIGMA-like, 82% of
+	// TPU-like (±2 points).
+	cases := []struct {
+		hw   config.Hardware
+		want float64
+	}{
+		{config.MAERILike(256, 128), 0.70},
+		{config.SIGMALike(256, 128), 0.77},
+		{config.TPULike(256), 0.82},
+	}
+	for _, c := range cases {
+		br := Area(&c.hw)
+		total := TotalArea(&c.hw)
+		got := br["GB"] / total
+		if math.Abs(got-c.want) > 0.02 {
+			t.Errorf("%s: GB area fraction %.3f, want %.2f", c.hw.Name, got, c.want)
+		}
+	}
+}
+
+func TestAreaOrdering(t *testing.T) {
+	tpu := config.TPULike(256)
+	maeri := config.MAERILike(256, 128)
+	sigma := config.SIGMALike(256, 128)
+	at, am, as := TotalArea(&tpu), TotalArea(&maeri), TotalArea(&sigma)
+	// Paper Section VI-A: TPU smallest, MAERI largest.
+	if !(at < as && as < am) {
+		t.Errorf("area ordering wrong: TPU %.0f, SIGMA %.0f, MAERI %.0f", at, am, as)
+	}
+}
+
+func TestApplyBreakdown(t *testing.T) {
+	hw := config.MAERILike(64, 16)
+	run := &stats.Run{
+		Cycles: 1000,
+		Counters: map[string]uint64{
+			"mn.mults":           5000,
+			"rn.adders_3to1":     2500,
+			"gb.reads":           3000,
+			"dn.link_traversals": 4000,
+			"unknown.counter":    999999, // uncosted: ignored
+		},
+	}
+	tab := DefaultTable()
+	tab.Apply(run, &hw)
+	for _, comp := range []string{"GB", "DN", "MN", "RN"} {
+		if run.Energy[comp] <= 0 {
+			t.Errorf("component %s has no energy", comp)
+		}
+	}
+	// RN must dominate with these counts (the Fig. 5b shape).
+	if run.Energy["RN"] < run.Energy["MN"] || run.Energy["RN"] < run.Energy["DN"] {
+		t.Errorf("RN does not dominate: %v", run.Energy)
+	}
+}
+
+func TestStaticEnergyScalesWithCycles(t *testing.T) {
+	hw := config.SIGMALike(128, 64)
+	tab := DefaultTable()
+	short := &stats.Run{Cycles: 100, Counters: map[string]uint64{}}
+	long := &stats.Run{Cycles: 10000, Counters: map[string]uint64{}}
+	tab.Apply(short, &hw)
+	tab.Apply(long, &hw)
+	if long.TotalEnergy() <= short.TotalEnergy() {
+		t.Error("static energy does not scale with cycles")
+	}
+	ratio := long.TotalEnergy() / short.TotalEnergy()
+	if math.Abs(ratio-100) > 1 {
+		t.Errorf("static-only energy ratio %v, want 100", ratio)
+	}
+}
+
+func TestComponentOf(t *testing.T) {
+	cases := map[string]string{
+		"gb.reads":      "GB",
+		"dn.injections": "DN",
+		"mn.mults":      "MN",
+		"rn.outputs":    "RN",
+		"dram.reads":    "DRAM",
+		"snapea.cuts":   "CTRL",
+		"ctrl.reload":   "CTRL",
+		"noprefix":      "CTRL",
+	}
+	for counter, want := range cases {
+		if got := componentOf(counter); got != want {
+			t.Errorf("componentOf(%q) = %q, want %q", counter, got, want)
+		}
+	}
+}
+
+func TestApplyModel(t *testing.T) {
+	hw := config.TPULike(64)
+	mr := &stats.ModelRun{Runs: []*stats.Run{
+		{Cycles: 10, Counters: map[string]uint64{"mn.mults": 100}},
+		{Cycles: 20, Counters: map[string]uint64{"mn.mults": 200}},
+	}}
+	DefaultTable().ApplyModel(mr, &hw)
+	if mr.TotalEnergy() <= 0 {
+		t.Error("model energy not applied")
+	}
+	br := mr.EnergyBreakdown()
+	if br["MN"] <= 0 {
+		t.Error("MN missing from model breakdown")
+	}
+}

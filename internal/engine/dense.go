@@ -1,0 +1,500 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/config"
+	"repro/internal/dn"
+	"repro/internal/mapper"
+	"repro/internal/mn"
+	"repro/internal/rn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// jobSpec describes one reduction the controller expects to fire: virtual
+// neuron vn will have `expect` products tagged with step `seq`, reducing
+// into output element outIdx; `last` marks the final fold of that output.
+type jobSpec struct {
+	vn, seq, expect, outIdx int
+	last                    bool
+	// members, when non-nil, is the snapshot of the VN's switch set at
+	// schedule time — required when cluster shapes change between rounds
+	// (sparse controller). Nil falls back to the configured VN table.
+	members []int
+}
+
+// workItem is one schedulable unit: a weight (re)load or one compute step.
+type workItem struct {
+	// barrier requires the switches in reloadSet to be quiescent (operand
+	// FIFOs and psum latches empty) and the DN drained before issuing —
+	// the stationary registers are about to be overwritten.
+	barrier   bool
+	reloadSet []int
+	// prefetch, when non-zero, starts a DRAM prefetch of that many
+	// elements for the following block (double buffering).
+	prefetch   int
+	deliveries []dn.Delivery
+	jobs       []jobSpec
+	// reconfig, when non-nil, reprograms the VN membership once the
+	// barrier has drained the fabric (sparse rounds change cluster shapes
+	// between rounds). It requires full quiescence, not just the
+	// reloadSet.
+	reconfig func() error
+}
+
+// itemSource generates work items on demand so full-model runs never
+// materialize their schedule up front.
+type itemSource interface {
+	next() (workItem, bool)
+}
+
+// flexRun drives the flexible dense pipeline: controller → DN → MN → RN,
+// one Cycle() each per simulated clock, with back-pressure everywhere.
+type flexRun struct {
+	*runCtx
+	dnet dn.Network
+	marr *mn.Array
+	rnet *rn.Net
+	src  itemSource
+
+	cur      *workItem
+	curDeliv int
+	issued   bool // some deliveries of cur already offered
+	srcDone  bool
+
+	pending     [][]jobSpec // per-VN FIFO of expected reductions
+	pendingJobs int
+	// readsPerDest: the Benes gather fetches one GB operand per
+	// destination; tree/systolic fabrics read a multicast value once.
+	readsPerDest bool
+
+	fatal error
+
+	out []float32
+	// sumOut accumulates results into out (sparse controller: every
+	// cluster contribution exits the RN and adds into the GB-side output);
+	// otherwise results overwrite (dense: the RN accumulator already
+	// folded them).
+	sumOut    bool
+	completed int
+	expected  int
+}
+
+func newFlexRun(ctx *runCtx, numVNs int, outLen, expected int) (*flexRun, error) {
+	hw := ctx.hw
+	dnet, err := dn.New(hw.DN.String(), hw.MSSize, hw.DNBandwidth, ctx.counters)
+	if err != nil {
+		return nil, err
+	}
+	rkind := rn.ARTAcc
+	switch hw.RN {
+	case config.ARTRN:
+		rkind = rn.ART
+	case config.ARTAccRN:
+		rkind = rn.ARTAcc
+	case config.FANRN:
+		rkind = rn.FAN
+	case config.LinearRN:
+		rkind = rn.Linear
+	}
+	f := &flexRun{
+		runCtx:   ctx,
+		dnet:     dnet,
+		marr:     mn.NewArray(hw.MSSize, hw.FIFODepth, hw.MN == config.LinearMN, ctx.counters),
+		rnet:     rn.New(rkind, hw.MSSize, hw.RNBandwidth, ctx.counters),
+		pending:  make([][]jobSpec, numVNs),
+		out:      make([]float32, outLen),
+		expected: expected,
+	}
+	f.readsPerDest = hw.DN == config.BenesDN
+	f.dnet.SetSink(f.marr.Deliver)
+	f.dnet.SetProber(f.marr.CanDeliver)
+	f.rnet.SetSink(f.sink)
+	return f, nil
+}
+
+func (f *flexRun) sink(r rn.Result) {
+	f.gb.Write(1)
+	if f.sumOut {
+		f.out[r.OutIdx] += r.Value
+		f.completed++
+		return
+	}
+	if f.rnet.HasAccumulator() {
+		f.out[r.OutIdx] = r.Value
+		f.completed++
+		return
+	}
+	// Without accumulators every fold's partial sum leaves through the
+	// output ports; the controller re-reads it for the next fold.
+	f.out[r.OutIdx] += r.Value
+	if r.Last {
+		f.completed++
+	} else {
+		f.gb.Read(1) // psum re-fetch for the next fold
+	}
+}
+
+// configureVNs programs the VN membership (Configuration Unit signals).
+func (f *flexRun) configureVNs(vns [][]int) error {
+	if len(vns) != len(f.pending) {
+		return fmt.Errorf("engine: VN count %d does not match job table %d", len(vns), len(f.pending))
+	}
+	return f.marr.ConfigureVNs(vns)
+}
+
+// ctrlCycle is the memory controller's per-clock behaviour: fire ready
+// reductions, then issue as much of the schedule as the DN accepts.
+func (f *flexRun) ctrlCycle() {
+	// 1. Fire ready virtual neurons into the reduction network.
+	for vn := range f.pending {
+		q := f.pending[vn]
+		if len(q) == 0 {
+			continue
+		}
+		j := q[0]
+		var ready bool
+		if j.members != nil {
+			ready = f.marr.ReadyMembers(j.members, j.seq, j.expect)
+		} else {
+			ready = f.marr.ReadyVN(vn, j.seq, j.expect)
+		}
+		if !ready || !f.rnet.CanAccept(j.expect) {
+			continue
+		}
+		var values []float32
+		if j.members != nil {
+			values, _ = f.marr.PopMembers(j.members, j.seq)
+		} else {
+			values, _ = f.marr.PopVN(vn, j.seq)
+		}
+		f.rnet.Offer(rn.Job{VN: vn, Seq: j.seq, Values: values, OutIdx: j.outIdx, Last: j.last})
+		f.pending[vn] = q[1:]
+		f.pendingJobs--
+	}
+
+	// 2. Issue schedule items.
+	for {
+		if f.cur == nil {
+			item, ok := f.src.next()
+			if !ok {
+				f.srcDone = true
+				return
+			}
+			f.cur = &item
+			f.curDeliv = 0
+			f.issued = false
+		}
+		if f.cur.barrier && !f.issued {
+			if f.dnet.Pending() > 0 || !f.marr.QuiescentSet(f.cur.reloadSet) {
+				f.counters.Add("ctrl.reload_wait_cycles", 1)
+				return
+			}
+			if f.cur.reconfig != nil && (f.pendingJobs > 0 || !f.marr.Idle()) {
+				f.counters.Add("ctrl.reload_wait_cycles", 1)
+				return
+			}
+			if stall := f.dram.StallCycles(float64(f.cycles)); stall > 0 {
+				f.counters.Add("ctrl.dram_wait_cycles", 1)
+				return
+			}
+			if f.cur.reconfig != nil {
+				if err := f.cur.reconfig(); err != nil {
+					f.fatal = err
+					return
+				}
+				f.cur.reconfig = nil
+			}
+		}
+		if f.cur.prefetch > 0 && !f.issued {
+			f.dram.BeginPrefetch(float64(f.cycles), f.cur.prefetch)
+		}
+		for f.curDeliv < len(f.cur.deliveries) {
+			d := f.cur.deliveries[f.curDeliv]
+			if !f.dnet.Offer(d) {
+				f.issued = true
+				return // DN injection queue full; resume next cycle
+			}
+			if !d.Forward {
+				if f.readsPerDest {
+					f.gb.Read(len(d.Dests))
+				} else {
+					f.gb.Read(1)
+				}
+			}
+			f.curDeliv++
+			f.issued = true
+		}
+		for _, j := range f.cur.jobs {
+			f.pending[j.vn] = append(f.pending[j.vn], j)
+			f.pendingJobs++
+		}
+		f.cur = nil
+	}
+}
+
+func (f *flexRun) done() bool {
+	return f.srcDone && f.cur == nil && f.pendingJobs == 0 &&
+		f.completed >= f.expected &&
+		f.dnet.Pending() == 0 && f.rnet.Drained() && f.marr.Idle()
+}
+
+// run executes the cycle loop to completion.
+func (f *flexRun) run() error {
+	lastProgress := f.cycles
+	lastState := -1
+	for !f.done() {
+		f.ctrlCycle()
+		if f.fatal != nil {
+			return f.fatal
+		}
+		f.dnet.Cycle()
+		f.marr.Cycle()
+		f.rnet.Cycle()
+		f.cycles++
+
+		if state := f.completed; state != lastState {
+			lastState = state
+			lastProgress = f.cycles
+		}
+		if f.cycles-lastProgress > deadlockWindow {
+			return fmt.Errorf("engine: no progress for %d cycles (completed %d/%d, pending jobs %d, dn pending %d)",
+				deadlockWindow, f.completed, f.expected, f.pendingJobs, f.dnet.Pending())
+		}
+	}
+	f.marr.CollectFIFOStats()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// GEMM scheduler
+// ---------------------------------------------------------------------------
+
+// gemmSource emits the schedule for a dense M×N×K GEMM on the flexible
+// fabric: for each row block, column panel and fold — a weight load
+// followed by one compute step per column group.
+type gemmSource struct {
+	A, B    *tensor.Tensor
+	m, n, k int
+	t       mapper.GEMMTile
+
+	panelCols int // columns per panel (accumulation-buffer bound)
+
+	mblocks, panels, groupsPerPanel int
+
+	// iteration state
+	mb, panel, fold, ng int
+	phase               int // 0 = weight load, 1 = stream
+	seq                 int
+	exhausted           bool
+}
+
+func newGEMMSource(A, B *tensor.Tensor, t mapper.GEMMTile) *gemmSource {
+	m, k := A.Dim(0), A.Dim(1)
+	n := B.Dim(1)
+	g := &gemmSource{A: A, B: B, m: m, n: n, k: k, t: t}
+	g.panelCols = maxAccEntries / t.TM
+	if g.panelCols < t.TN {
+		g.panelCols = t.TN
+	}
+	g.panelCols -= g.panelCols % t.TN
+	if g.panelCols > n {
+		g.panelCols = n
+	}
+	g.mblocks = ceilDiv(m, t.TM)
+	g.panels = ceilDiv(n, g.panelCols)
+	g.groupsPerPanel = ceilDiv(g.panelCols, t.TN)
+	return g
+}
+
+// expectedOutputs is the number of C elements the schedule will produce.
+func (g *gemmSource) expectedOutputs() int { return g.m * g.n }
+
+// vns returns the VN membership: VN (i,j) = i·TN + j occupies KSlice
+// consecutive switches.
+func (g *gemmSource) vns() [][]int {
+	vns := make([][]int, g.t.TM*g.t.TN)
+	for v := range vns {
+		members := make([]int, g.t.KSlice)
+		for p := range members {
+			members[p] = v*g.t.KSlice + p
+		}
+		vns[v] = members
+	}
+	return vns
+}
+
+func (g *gemmSource) ms(i, j, p int) int { return (i*g.t.TN+j)*g.t.KSlice + p }
+
+func (g *gemmSource) next() (workItem, bool) {
+	if g.exhausted {
+		return workItem{}, false
+	}
+	t := g.t
+	k0 := g.fold * t.KSlice
+	kw := min(t.KSlice, g.k-k0)
+
+	if g.phase == 0 {
+		// Weight load for (mb, fold): row slices A[mi, k0:k0+kw],
+		// multicast across the TN column replicas.
+		item := workItem{barrier: true}
+		for i := 0; i < t.TM; i++ {
+			mi := g.mb*t.TM + i
+			if mi >= g.m {
+				continue
+			}
+			for p := 0; p < kw; p++ {
+				dests := make([]int, 0, t.TN)
+				for j := 0; j < t.TN; j++ {
+					dests = append(dests, g.ms(i, j, p))
+				}
+				item.reloadSet = append(item.reloadSet, dests...)
+				item.deliveries = append(item.deliveries, dn.Delivery{
+					Pkt:   comp.Packet{Value: g.A.At(mi, k0+p), Kind: comp.WeightPkt},
+					Dests: dests,
+				})
+			}
+		}
+		// Prefetch the next fold's weights while this fold computes.
+		item.prefetch = t.TM * t.KSlice
+		g.phase = 1
+		g.ng = 0
+		return item, true
+	}
+
+	// Stream one column group.
+	colBase := g.panel*g.panelCols + g.ng*t.TN
+	item := workItem{}
+	seq := g.seq
+	g.seq++
+	for j := 0; j < t.TN; j++ {
+		nj := colBase + j
+		if nj >= g.n || nj >= (g.panel+1)*g.panelCols {
+			continue
+		}
+		for p := 0; p < kw; p++ {
+			dests := make([]int, 0, t.TM)
+			for i := 0; i < t.TM; i++ {
+				if g.mb*t.TM+i >= g.m {
+					continue
+				}
+				dests = append(dests, g.ms(i, j, p))
+			}
+			if len(dests) == 0 {
+				continue
+			}
+			item.deliveries = append(item.deliveries, dn.Delivery{
+				Pkt:   comp.Packet{Value: g.B.At(k0+p, nj), Kind: comp.InputPkt, Seq: seq},
+				Dests: dests,
+			})
+		}
+		for i := 0; i < t.TM; i++ {
+			mi := g.mb*t.TM + i
+			if mi >= g.m {
+				continue
+			}
+			item.jobs = append(item.jobs, jobSpec{
+				vn: i*t.TN + j, seq: seq, expect: kw,
+				outIdx: mi*g.n + nj,
+				last:   g.fold == ceilDiv(g.k, t.KSlice)-1,
+			})
+		}
+	}
+
+	// Advance iteration: ng → fold → panel → mb.
+	g.ng++
+	if g.ng >= g.groupsPerPanel || g.panel*g.panelCols+g.ng*t.TN >= g.n {
+		g.ng = 0
+		g.fold++
+		g.phase = 0
+		if g.fold >= ceilDiv(g.k, t.KSlice) {
+			g.fold = 0
+			g.panel++
+			if g.panel >= g.panels {
+				g.panel = 0
+				g.mb++
+				if g.mb >= g.mblocks {
+					g.exhausted = true
+				}
+			}
+		}
+	}
+	return item, true
+}
+
+// runFlexDenseGEMM simulates a dense GEMM on the tree-based flexible
+// fabric (the MAERI-like composition). The controller keeps the operand
+// with more reuse stationary: A rows are each reused N times and B columns
+// M times, so when M > N the GEMM runs transposed (Cᵀ = Bᵀ×Aᵀ), making the
+// execution input-stationary — this is how batch-1 fully-connected layers
+// avoid a stationary reload per output row (the dense controller's
+// WS/IS dataflow selection of Section IV-B). Configurations with
+// ForceDataflow pin the choice instead.
+func (a *Accelerator) runFlexDenseGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	inputStationary := A.Dim(0) > B.Dim(1)
+	if a.hw.ForceDataflow {
+		inputStationary = a.hw.Dataflow == config.InputStationary
+	}
+	if inputStationary {
+		Ct, run, err := a.flexDenseGEMMWS(transposed(B), transposed(A), layer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return transposed(Ct), run, nil
+	}
+	return a.flexDenseGEMMWS(A, B, layer)
+}
+
+func transposed(t *tensor.Tensor) *tensor.Tensor {
+	r, c := t.Dim(0), t.Dim(1)
+	out := tensor.New(c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.Set(t.At(i, j), j, i)
+		}
+	}
+	return out
+}
+
+// flexDenseGEMMWS is the weight-stationary execution: A row slices stay in
+// the switches while B columns stream.
+func (a *Accelerator) flexDenseGEMMWS(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	m, k := A.Dim(0), A.Dim(1)
+	n := B.Dim(1)
+	tile, err := mapper.PickGEMM(&a.hw, m, n, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx := newRunCtx(&a.hw)
+	src := newGEMMSource(A, B, tile)
+	f, err := newFlexRun(ctx, tile.TM*tile.TN, m*n, src.expectedOutputs())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.configureVNs(src.vns()); err != nil {
+		return nil, nil, err
+	}
+	f.src = src
+	ctx.initialFill(m*k + k*n)
+	if err := f.run(); err != nil {
+		return nil, nil, fmt.Errorf("engine: %s GEMM %s (%dx%dx%d): %w", a.hw.Name, layer, m, n, k, err)
+	}
+	ctx.dram.WriteBack(m * n)
+	C, err := tensor.FromSlice(f.out, m, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := ctx.finish("GEMM", layer, m, n, k)
+	return C, run, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/config"
+	"repro/internal/dn"
+	"repro/internal/mapper"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// convSource emits the schedule for a convolution on the flexible dense
+// fabric: virtual neurons span T_K parallel filters × T_Y' adjacent output
+// positions, weights stay stationary across a panel of output positions,
+// and the Linear MN forwarding links carry the sliding-window overlap
+// between consecutive steps.
+type convSource struct {
+	in, w *tensor.Tensor
+	cs    tensor.ConvShape
+	t     mapper.Tile
+
+	cg, kg, xo, yo int
+	folds          int
+
+	// Output position groups: each group is one step covering TYp
+	// consecutive oy positions at one ox.
+	groupsPerRow, panelGroups, panels int
+
+	// iteration state
+	g, mb, panel, fold, grp int
+	phase                   int // 0 = weight load, 1 = stream
+	seq                     int
+	exhausted               bool
+
+	prevOx     int
+	forwarding bool
+
+	// Stamp-based coordinate dedup (allocation-free hot path): seen[idx]
+	// holds the generation (seq+1) a coordinate was last needed in;
+	// slot[idx] its delivery index within the current step. A coordinate
+	// whose stamp equals the previous step's generation was just
+	// delivered and can ride the forwarding links.
+	seen   []uint32
+	slot   []int32
+	coordW int // padded row width (Y + 2·padding)
+	coordH int // padded column count (X + 2·padding)
+}
+
+func newConvSource(in, w *tensor.Tensor, cs tensor.ConvShape, t mapper.Tile, forwarding bool) *convSource {
+	c := &convSource{
+		in: in, w: w, cs: cs, t: t,
+		cg: cs.C / cs.G, kg: cs.K / cs.G,
+		xo: cs.OutX(), yo: cs.OutY(),
+		folds:      t.Folds,
+		forwarding: forwarding,
+		prevOx:     -1,
+		coordH:     cs.X + 2*cs.Padding,
+		coordW:     cs.Y + 2*cs.Padding,
+	}
+	cells := cs.C * c.coordH * c.coordW
+	c.seen = make([]uint32, cells)
+	c.slot = make([]int32, cells)
+	c.groupsPerRow = ceilDiv(c.yo, t.TYp)
+	totalGroups := c.xo * c.groupsPerRow
+	c.panelGroups = maxAccEntries / (t.TK * t.TYp)
+	if c.panelGroups < 1 {
+		c.panelGroups = 1
+	}
+	if c.panelGroups > totalGroups {
+		c.panelGroups = totalGroups
+	}
+	c.panels = ceilDiv(totalGroups, c.panelGroups)
+	return c
+}
+
+func (c *convSource) expectedOutputs() int {
+	return c.cs.K * c.xo * c.yo
+}
+
+// vns lays VN (kk, ty) = kk·TYp + ty over consecutive switch ranges.
+func (c *convSource) vns() [][]int {
+	vns := make([][]int, c.t.TK*c.t.TYp)
+	for v := range vns {
+		members := make([]int, c.t.VNSize)
+		for p := range members {
+			members[p] = v*c.t.VNSize + p
+		}
+		vns[v] = members
+	}
+	return vns
+}
+
+func (c *convSource) ms(kk, ty, p int) int { return (kk*c.t.TYp+ty)*c.t.VNSize + p }
+
+// member p of a VN decodes to filter offsets (tc, tr, ts).
+func (c *convSource) decode(p int) (tc, tr, ts int) {
+	ts = p % c.t.TS
+	tr = (p / c.t.TS) % c.t.TR
+	tc = p / (c.t.TS * c.t.TR)
+	return
+}
+
+func (c *convSource) mblocks() int { return ceilDiv(c.kg, c.t.TK) }
+
+func (c *convSource) next() (workItem, bool) {
+	if c.exhausted {
+		return workItem{}, false
+	}
+	t := c.t
+	cw := min(t.TC, c.cg-c.fold*t.TC) // channels in this fold
+
+	if c.phase == 0 {
+		// Weight load for (g, mb, fold): each filter's slice multicast to
+		// its TYp position replicas.
+		item := workItem{barrier: true}
+		for kk := 0; kk < t.TK; kk++ {
+			kfull := c.g*c.kg + c.mb*t.TK + kk
+			if c.mb*t.TK+kk >= c.kg {
+				continue
+			}
+			for p := 0; p < t.VNSize; p++ {
+				tc, tr, ts := c.decode(p)
+				if tc >= cw {
+					continue
+				}
+				dests := make([]int, 0, t.TYp)
+				for ty := 0; ty < t.TYp; ty++ {
+					dests = append(dests, c.ms(kk, ty, p))
+				}
+				item.reloadSet = append(item.reloadSet, dests...)
+				item.deliveries = append(item.deliveries, dn.Delivery{
+					Pkt: comp.Packet{
+						Value: c.w.At(kfull, c.fold*t.TC+tc, tr, ts),
+						Kind:  comp.WeightPkt,
+					},
+					Dests: dests,
+				})
+			}
+		}
+		item.prefetch = t.TK * t.VNSize
+		c.phase = 1
+		c.prevOx = -1 // a reload breaks the sliding-window reuse chain
+		return item, true
+	}
+
+	// Stream one output position group.
+	grpAbs := c.panel*c.panelGroups + c.grp
+	ox := grpAbs / c.groupsPerRow
+	oyBase := (grpAbs % c.groupsPerRow) * t.TYp
+
+	item := workItem{}
+	seq := c.seq
+	c.seq++
+
+	// Group needed elements by coordinate for multicast, preserving a
+	// deterministic order. The stamp arrays make the dedup allocation-free
+	// (this loop runs once per compute step, dominating full-model runs).
+	curGen := uint32(seq) + 1
+	prevGen := curGen - 1
+	sameRow := c.forwarding && c.prevOx == ox
+	expect := make([]int, t.TK*t.TYp)
+
+	for ty := 0; ty < t.TYp; ty++ {
+		oy := oyBase + ty
+		if oy >= c.yo {
+			continue
+		}
+		for p := 0; p < t.VNSize; p++ {
+			tc, tr, ts := c.decode(p)
+			if tc >= cw {
+				continue
+			}
+			cc := c.g*c.cg + c.fold*t.TC + tc
+			ix := ox*c.cs.Stride + tr - c.cs.Padding
+			iy := oy*c.cs.Stride + ts - c.cs.Padding
+			idx := (cc*c.coordH+ix+c.cs.Padding)*c.coordW + iy + c.cs.Padding
+			var slot int32
+			if c.seen[idx] != curGen {
+				reused := sameRow && c.seen[idx] == prevGen
+				c.seen[idx] = curGen
+				slot = int32(len(item.deliveries))
+				c.slot[idx] = slot
+				var v float32
+				if ix >= 0 && ix < c.cs.X && iy >= 0 && iy < c.cs.Y {
+					v = c.in.At(0, cc, ix, iy)
+				}
+				item.deliveries = append(item.deliveries, dn.Delivery{
+					Pkt:     comp.Packet{Value: v, Kind: comp.InputPkt, Seq: seq},
+					Forward: reused,
+				})
+			} else {
+				slot = c.slot[idx]
+			}
+			d := &item.deliveries[slot]
+			for kk := 0; kk < t.TK; kk++ {
+				if c.mb*t.TK+kk >= c.kg {
+					continue
+				}
+				d.Dests = append(d.Dests, c.ms(kk, ty, p))
+				expect[kk*t.TYp+ty]++
+			}
+		}
+	}
+	c.prevOx = ox
+
+	// Expected participation per VN: TC slice size times... each (kk,ty)
+	// receives exactly one product per member with tc < cw.
+	for kk := 0; kk < t.TK; kk++ {
+		if c.mb*t.TK+kk >= c.kg {
+			continue
+		}
+		kfull := c.g*c.kg + c.mb*t.TK + kk
+		for ty := 0; ty < t.TYp; ty++ {
+			oy := oyBase + ty
+			if oy >= c.yo {
+				continue
+			}
+			vn := kk*t.TYp + ty
+			if expect[vn] == 0 {
+				continue
+			}
+			// expect[vn] counted one product per member switch with a
+			// valid channel slice — exactly the set that will latch.
+			item.jobs = append(item.jobs, jobSpec{
+				vn: vn, seq: seq, expect: expect[vn],
+				outIdx: (kfull*c.xo+ox)*c.yo + oy,
+				last:   c.fold == c.folds-1,
+			})
+		}
+	}
+
+	// Advance: grp → fold → panel → mb → g.
+	c.grp++
+	if c.grp >= c.panelGroups || c.panel*c.panelGroups+c.grp >= c.xo*c.groupsPerRow {
+		c.grp = 0
+		c.fold++
+		c.phase = 0
+		if c.fold >= c.folds {
+			c.fold = 0
+			c.panel++
+			if c.panel >= c.panels {
+				c.panel = 0
+				c.mb++
+				if c.mb >= c.mblocks() {
+					c.mb = 0
+					c.g++
+					if c.g >= c.cs.G {
+						c.exhausted = true
+					}
+				}
+			}
+		}
+	}
+	return item, true
+}
+
+// runFlexDenseConv simulates a convolution on the tree-based flexible
+// fabric with sliding-window forwarding, using the mapper's tile choice.
+func (a *Accelerator) runFlexDenseConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	if cs.R*cs.S > a.hw.MSSize {
+		return nil, nil, fmt.Errorf("engine: filter window %dx%d exceeds the %d-switch fabric (fold-over-window is not supported by the dense controller)",
+			cs.R, cs.S, a.hw.MSSize)
+	}
+	tile, err := mapper.PickConv(&a.hw, cs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.RunConvTiled(in, w, cs, layer, tile)
+}
+
+// RunConvTiled runs a convolution with an explicit user-supplied tile — in
+// STONNE, the tile configuration for every layer is part of the model
+// modifications (Fig. 2d); the mapper only provides a default.
+func (a *Accelerator) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, tile mapper.Tile) (*tensor.Tensor, *stats.Run, error) {
+	if a.hw.Ctrl != config.DenseCtrl || a.hw.DN == config.PointToPointDN {
+		return nil, nil, fmt.Errorf("engine: explicit tiles target the flexible dense composition, have %v/%v", a.hw.Ctrl, a.hw.DN)
+	}
+	if err := tile.Validate(cs); err != nil {
+		return nil, nil, err
+	}
+	if tile.UsedMultipliers > a.hw.MSSize {
+		return nil, nil, fmt.Errorf("engine: tile uses %d multipliers, fabric has %d", tile.UsedMultipliers, a.hw.MSSize)
+	}
+	if tile.TG != 1 || tile.TN != 1 {
+		return nil, nil, fmt.Errorf("engine: group/batch tile parallelism is not supported (T_G=%d, T_N=%d)", tile.TG, tile.TN)
+	}
+	// Position parallelism along x is folded into the y sweep — the two
+	// are symmetric for the delivery and reuse pattern.
+	if tile.TXp > 1 {
+		tile.TYp *= tile.TXp
+		tile.TXp = 1
+	}
+	ctx := newRunCtx(&a.hw)
+	src := newConvSource(in, w, cs, tile, a.hw.MN.String() == "LMN")
+	f, err := newFlexRun(ctx, tile.TK*tile.TYp, cs.K*src.xo*src.yo, src.expectedOutputs())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.configureVNs(src.vns()); err != nil {
+		return nil, nil, err
+	}
+	f.src = src
+	ctx.initialFill(in.Len() + w.Len())
+	if err := f.run(); err != nil {
+		return nil, nil, fmt.Errorf("engine: %s CONV %s: %w", a.hw.Name, layer, err)
+	}
+	ctx.dram.WriteBack(cs.K * src.xo * src.yo)
+	out, err := tensor.FromSlice(f.out, 1, cs.K, src.xo, src.yo)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, n, k := cs.GEMMDims()
+	run := ctx.finish("CONV", layer, m, n, k)
+	return out, run, nil
+}

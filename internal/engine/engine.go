@@ -1,0 +1,144 @@
+// Package engine composes the microarchitecture modules (distribution,
+// multiplier and reduction networks, memory controllers, buffers) into
+// complete simulated accelerators and runs operations on them cycle by
+// cycle. It provides the four compositions of the paper: TPU-like
+// (systolic), MAERI-like (flexible dense), SIGMA-like (flexible sparse) and
+// SNAPEA-like (data-dependent early termination).
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Accelerator is one configured instance of the simulation engine — what
+// the STONNE API's CreateInstance returns.
+type Accelerator struct {
+	hw config.Hardware
+}
+
+// New validates the configuration and builds an accelerator instance.
+func New(hw config.Hardware) (*Accelerator, error) {
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accelerator{hw: hw}, nil
+}
+
+// HW returns the hardware configuration.
+func (a *Accelerator) HW() config.Hardware { return a.hw }
+
+// deadlockWindow is the number of cycles without any observable progress
+// after which a run aborts with a diagnostic instead of spinning forever —
+// a controller bug, not a valid hardware state.
+const deadlockWindow = 200_000
+
+// maxAccEntries bounds the accumulation-buffer working set; schedulers
+// panelize output sweeps so folds never need more in-flight partial sums.
+const maxAccEntries = 4096
+
+// RunGEMM executes C = A(M×K) × B(K×N) densely on the configured fabric
+// and returns the result with per-run statistics.
+func (a *Accelerator) RunGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	if A.Rank() != 2 || B.Rank() != 2 || A.Dim(1) != B.Dim(0) {
+		return nil, nil, fmt.Errorf("engine: GEMM shape mismatch %v × %v", A.Shape(), B.Shape())
+	}
+	switch a.hw.Ctrl {
+	case config.DenseCtrl:
+		if a.hw.DN == config.PointToPointDN {
+			return a.runSystolicGEMM(A, B, layer)
+		}
+		return a.runFlexDenseGEMM(A, B, layer)
+	case config.SparseCtrl:
+		// The sparse controller runs every GEMM through its bitmap/CSR
+		// front end; dense operands simply have full bitmaps.
+		return a.RunSpMM(A, B, layer, nil)
+	case config.SNAPEACtrl:
+		// SNAPEA's sign-sorting targets convolutions; fully-connected
+		// layers run on the same dot-product lanes without cutting.
+		return a.runSNAPEAGEMM(A, B, layer)
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown controller %v", a.hw.Ctrl)
+	}
+}
+
+// RunConv executes a convolution (input NCHW, weights KCRS) and returns the
+// NKX'Y' output with statistics.
+func (a *Accelerator) RunConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, nil, err
+	}
+	switch a.hw.Ctrl {
+	case config.DenseCtrl:
+		if a.hw.DN == config.PointToPointDN {
+			return a.runSystolicConv(in, w, cs, layer)
+		}
+		return a.runFlexDenseConv(in, w, cs, layer)
+	case config.SparseCtrl:
+		return a.runSparseConv(in, w, cs, layer)
+	case config.SNAPEACtrl:
+		return a.runSNAPEAConv(in, w, cs, layer)
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown controller %v", a.hw.Ctrl)
+	}
+}
+
+// runCtx bundles the per-run state shared by all engines.
+type runCtx struct {
+	hw       *config.Hardware
+	counters *comp.Counters
+	gb       *mem.GlobalBuffer
+	dram     *mem.DRAM
+	cycles   uint64
+}
+
+func newRunCtx(hw *config.Hardware) *runCtx {
+	c := comp.NewCounters()
+	return &runCtx{
+		hw:       hw,
+		counters: c,
+		gb:       mem.NewGlobalBuffer(hw, c),
+		dram:     mem.NewDRAM(hw, c),
+	}
+}
+
+// finish assembles the Run record.
+func (r *runCtx) finish(op, layer string, m, n, k int) *stats.Run {
+	mults := r.counters.Get("mn.mults")
+	util := 0.0
+	if r.cycles > 0 {
+		util = float64(mults) / (float64(r.cycles) * float64(r.hw.MSSize))
+	}
+	return &stats.Run{
+		Accelerator: r.hw.Name,
+		Op:          op,
+		Layer:       layer,
+		M:           m, N: n, K: k,
+		Cycles:      r.cycles,
+		MACs:        mults,
+		MemAccesses: r.counters.Get("gb.reads") + r.counters.Get("gb.writes"),
+		Utilization: util,
+		Counters:    r.counters.Snapshot(),
+	}
+}
+
+// initialFill charges the unavoidable DRAM latency of streaming the first
+// working set into the Global Buffer before compute can start; later
+// transfers double-buffer behind compute.
+func (r *runCtx) initialFill(elems int) {
+	if r.hw.Preloaded {
+		return
+	}
+	cap := r.gb.CapacityElems() / 2 // double-buffered halves
+	if elems > cap {
+		elems = cap
+	}
+	fill := uint64(r.dram.FetchCycles(elems))
+	r.cycles += fill
+	r.counters.Add("dram.initial_fill_cycles", fill)
+}

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/mapper"
+	"repro/internal/tensor"
+)
+
+// xorshift for hermetic random workloads.
+type propRNG struct{ s uint64 }
+
+func newPropRNG(seed int64) *propRNG { return &propRNG{s: uint64(seed)*0x9e3779b97f4a7c15 + 99} }
+
+func (r *propRNG) next(lo, hi int) int {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return lo + int(r.s%uint64(hi-lo+1))
+}
+
+func (r *propRNG) val() float32 {
+	return float32(r.next(-1000, 1000)) / 400
+}
+
+func (r *propRNG) mat(rows, cols int, sparsity int) *tensor.Tensor {
+	t := tensor.New(rows, cols)
+	d := t.Data()
+	for i := range d {
+		if r.next(0, 99) >= sparsity {
+			d[i] = r.val()
+		}
+	}
+	return t
+}
+
+func closeEnough(a, b *tensor.Tensor) bool {
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		diff := float64(ad[i] - bd[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := float64(bd[i])
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		if diff/scale > 1e-3 {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: every architecture completes every random GEMM without
+// deadlock (the run loop aborts with an error if no progress is made) and
+// produces the reference product. This sweeps fabric sizes, bandwidths and
+// FIFO depths — the stall-inducing parameters.
+func TestEngineGEMMCompletenessProperty(t *testing.T) {
+	archs := []func(r *propRNG) config.Hardware{
+		func(r *propRNG) config.Hardware {
+			return config.TPULike(1 << (2 * r.next(1, 4))) // 4..256 PEs (squares)
+		},
+		func(r *propRNG) config.Hardware {
+			hw := config.MAERILike(1<<r.next(3, 8), 1<<r.next(1, 7))
+			hw.FIFODepth = r.next(1, 8)
+			return hw
+		},
+		func(r *propRNG) config.Hardware {
+			hw := config.SIGMALike(1<<r.next(3, 8), 1<<r.next(1, 7))
+			hw.FIFODepth = r.next(1, 8)
+			return hw
+		},
+	}
+	f := func(seed int64, pick uint8) bool {
+		r := newPropRNG(seed)
+		hw := archs[int(pick)%len(archs)](r)
+		hw.Preloaded = true
+		acc, err := New(hw)
+		if err != nil {
+			return false
+		}
+		m, n, k := r.next(1, 40), r.next(1, 40), r.next(1, 80)
+		sp := r.next(0, 90)
+		A := r.mat(m, k, sp)
+		B := r.mat(k, n, sp/2)
+		got, run, err := acc.RunGEMM(A, B, "prop")
+		if err != nil {
+			t.Logf("seed %d %s: %v", seed, hw.Name, err)
+			return false
+		}
+		want, _ := tensor.MatMul(A, B)
+		if !closeEnough(got, want) {
+			t.Logf("seed %d %s: wrong product (%dx%dx%d)", seed, hw.Name, m, n, k)
+			return false
+		}
+		if run.Cycles == 0 && m*n*k > 0 && A.NNZ() > 0 {
+			t.Logf("seed %d %s: zero cycles", seed, hw.Name)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random valid tiles on the flexible dense fabric still compute
+// the correct convolution — the user-supplied tile path of Fig. 2(d).
+func TestConvTiledCorrectnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newPropRNG(seed)
+		cs := tensor.ConvShape{
+			R: r.next(1, 3), S: 0, C: r.next(1, 8), G: 1, K: r.next(1, 6), N: 1,
+			X: 0, Y: 0, Stride: r.next(1, 2), Padding: r.next(0, 1),
+		}
+		cs.S = cs.R
+		cs.X = r.next(cs.R+1, 10)
+		cs.Y = cs.X
+		if cs.Validate() != nil {
+			return true
+		}
+		const ms = 64
+		hw := config.MAERILike(ms, 1<<r.next(1, 5))
+		hw.Preloaded = true
+		hw.FIFODepth = r.next(1, 8)
+		acc, err := New(hw)
+		if err != nil {
+			return false
+		}
+		// Random valid tile: window always fully covered, random TC and
+		// random VN parallelism within the fabric.
+		window := cs.R * cs.S
+		maxTC := ms / window
+		if maxTC > cs.C {
+			maxTC = cs.C
+		}
+		tc := r.next(1, maxTC)
+		vnSize := window * tc
+		avail := ms / vnSize
+		typ := r.next(1, min(avail, cs.OutY()))
+		tk := r.next(1, min(avail/typ, cs.K))
+		tile := mapper.Tile{
+			TR: cs.R, TS: cs.S, TC: tc, TG: 1, TK: tk, TN: 1, TXp: 1, TYp: typ,
+			VNSize: vnSize, NumVNs: tk * typ,
+			Folds:           (cs.C + tc - 1) / tc,
+			UsedMultipliers: tk * typ * vnSize,
+		}
+		in := r.mat(1, cs.C*cs.X*cs.Y, 0)
+		inT, _ := in.Reshape(1, cs.C, cs.X, cs.Y)
+		w := r.mat(cs.K, cs.C*cs.R*cs.S, r.next(0, 70))
+		wT, _ := w.Reshape(cs.K, cs.C, cs.R, cs.S)
+		got, _, err := acc.RunConvTiled(inT, wT, cs, "prop", tile)
+		if err != nil {
+			t.Logf("seed %d: %v (tile %+v, cs %+v)", seed, err, tile, cs)
+			return false
+		}
+		want, _ := tensor.Conv2D(inT, wT, cs)
+		if !closeEnough(got, want) {
+			t.Logf("seed %d: wrong conv (tile %+v)", seed, tile)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpMMDegenerateOperands(t *testing.T) {
+	acc, err := New(config.SIGMALike(64, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-zero stationary matrix: zero rounds, zero output.
+	A := tensor.New(8, 16)
+	B := tensor.New(16, 4)
+	for i, d := 0, B.Data(); i < len(d); i++ {
+		d[i] = 1
+	}
+	got, run, err := acc.RunSpMM(A, B, "zeros", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 0 || run.MACs != 0 {
+		t.Errorf("all-zero A produced work: nnz=%d macs=%d", got.NNZ(), run.MACs)
+	}
+
+	// All-zero streaming matrix: rounds load but nothing multiplies.
+	r := newPropRNG(5)
+	A2 := r.mat(8, 16, 30)
+	B2 := tensor.New(16, 4)
+	got2, run2, err := acc.RunSpMM(A2, B2, "zerosB", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.NNZ() != 0 || run2.MACs != 0 {
+		t.Errorf("all-zero B produced products: %d", run2.MACs)
+	}
+
+	// A row that is entirely zero must still yield a zero output row.
+	A3 := r.mat(4, 8, 0)
+	for j := 0; j < 8; j++ {
+		A3.Set(0, 2, j)
+	}
+	B3 := r.mat(8, 3, 0)
+	got3, _, err := acc.RunSpMM(A3, B3, "zerorow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if got3.At(2, j) != 0 {
+			t.Errorf("zero row produced %v", got3.At(2, j))
+		}
+	}
+	want, _ := tensor.MatMul(A3, B3)
+	if !closeEnough(got3, want) {
+		t.Error("partial-zero product wrong")
+	}
+}
+
+func TestSingleElementGEMM(t *testing.T) {
+	for _, hw := range []config.Hardware{
+		config.TPULike(16), config.MAERILike(16, 4), config.SIGMALike(16, 4),
+	} {
+		hw.Preloaded = true
+		acc, err := New(hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		A := tensor.New(1, 1)
+		A.Set(3, 0, 0)
+		B := tensor.New(1, 1)
+		B.Set(4, 0, 0)
+		got, _, err := acc.RunGEMM(A, B, "1x1")
+		if err != nil {
+			t.Fatalf("%s: %v", hw.Name, err)
+		}
+		if got.At(0, 0) != 12 {
+			t.Errorf("%s: 3×4 = %v", hw.Name, got.At(0, 0))
+		}
+	}
+}

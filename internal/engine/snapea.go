@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// The SNAPEA-like composition (use case 2, Section VI-B) extends the dense
+// back end with SnaPEA's data-dependent optimization: filter weights are
+// statically reordered by sign at "compile" time (positives first), an
+// index table matches each reordered weight with its activation, and the
+// accumulation logic performs a single-bit sign check on the running
+// partial sum — once it drops to or below zero with only negative weights
+// remaining, the output is inevitably zeroed by the following ReLU, so the
+// rest of the computation and its memory accesses are cut off (exact mode).
+//
+// The microarchitecture is an output-stationary array of dot-product
+// lanes: each of the MSSize processing elements owns one output neuron at
+// a time and performs one MAC per cycle, picking up the next neuron from
+// the work queue when it finishes or cuts.
+
+// snapeaFilter is one filter's sign-sorted non-zero weights plus the index
+// table locating each weight's activation.
+type snapeaFilter struct {
+	weights []float32
+	offsets []int32 // flat (c·R·S + r·S + s) offset within the window
+	negFrom int     // first index whose weight is negative
+}
+
+func buildSNAPEAFilters(w *tensor.Tensor, cs tensor.ConvShape) []snapeaFilter {
+	cg := cs.C / cs.G
+	window := cg * cs.R * cs.S
+	filters := make([]snapeaFilter, cs.K)
+	for k := 0; k < cs.K; k++ {
+		type wo struct {
+			v   float32
+			off int32
+		}
+		var entries []wo
+		for c := 0; c < cg; c++ {
+			for r := 0; r < cs.R; r++ {
+				for s := 0; s < cs.S; s++ {
+					v := w.At(k, c, r, s)
+					if v == 0 {
+						continue // pruned weights are never mapped
+					}
+					entries = append(entries, wo{v, int32(c*cs.R*cs.S + r*cs.S + s)})
+				}
+			}
+		}
+		// Positives first (descending), then negatives (most negative
+		// first) — the ordering that drops the partial sum fastest once
+		// the positive mass is consumed.
+		sort.SliceStable(entries, func(a, b int) bool {
+			pa, pb := entries[a].v > 0, entries[b].v > 0
+			if pa != pb {
+				return pa
+			}
+			if pa {
+				return entries[a].v > entries[b].v
+			}
+			return entries[a].v < entries[b].v
+		})
+		f := snapeaFilter{negFrom: len(entries)}
+		for i, e := range entries {
+			f.weights = append(f.weights, e.v)
+			f.offsets = append(f.offsets, e.off)
+			if e.v < 0 && i < f.negFrom {
+				f.negFrom = i
+			}
+		}
+		filters[k] = f
+		_ = window
+	}
+	return filters
+}
+
+// snapeaPE is one dot-product lane.
+type snapeaPE struct {
+	active bool
+	filter *snapeaFilter
+	outIdx int
+	// window origin in input coordinates
+	ox, oy int
+	pos    int
+	psum   float32
+}
+
+// RunSNAPEAConv runs a convolution on the SNAPEA-like accelerator. cut
+// selects whether the early-termination logic is active (false models the
+// paper's "Baseline", which is the same architecture without the negative
+// detection logic). cut must only be enabled for layers whose output feeds
+// a ReLU with non-negative inputs — the exact-mode soundness condition.
+func (a *Accelerator) RunSNAPEAConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, cut bool) (*tensor.Tensor, *stats.Run, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cs.N != 1 {
+		return nil, nil, fmt.Errorf("engine: SNAPEA models batch-1 inference, got N=%d", cs.N)
+	}
+	ctx := newRunCtx(&a.hw)
+	filters := buildSNAPEAFilters(w, cs)
+	// The reordering table itself is read once per layer.
+	var tableElems int
+	for k := range filters {
+		tableElems += len(filters[k].offsets)
+	}
+	ctx.counters.Add("gb.meta_reads", uint64(tableElems))
+
+	xo, yo := cs.OutX(), cs.OutY()
+	out := tensor.New(1, cs.K, xo, yo)
+	od := out.Data()
+	ind := in.Data()
+	cg := cs.C / cs.G
+	kg := cs.K / cs.G
+
+	// Work queue iterator over (k, ox, oy).
+	nextK, nextX, nextY := 0, 0, 0
+	more := cs.K > 0
+	nextNeuron := func() (k, ox, oy int, ok bool) {
+		if !more {
+			return 0, 0, 0, false
+		}
+		k, ox, oy = nextK, nextX, nextY
+		nextY++
+		if nextY == yo {
+			nextY = 0
+			nextX++
+			if nextX == xo {
+				nextX = 0
+				nextK++
+				if nextK == cs.K {
+					more = false
+				}
+			}
+		}
+		return k, ox, oy, true
+	}
+
+	pes := make([]snapeaPE, a.hw.MSSize)
+	var mults, reads, writes, signChecks, cuts, savedMACs uint64
+	inX, inY := cs.X, cs.Y
+
+	activeAny := true
+	for activeAny {
+		activeAny = false
+		for i := range pes {
+			pe := &pes[i]
+			if !pe.active {
+				k, ox, oy, ok := nextNeuron()
+				if !ok {
+					continue
+				}
+				pe.active = true
+				pe.filter = &filters[k]
+				pe.outIdx = (k*xo + ox) * yo
+				pe.outIdx += oy
+				pe.ox, pe.oy = ox, oy
+				pe.pos, pe.psum = 0, 0
+				activeAny = true
+				continue // assignment cycle
+			}
+			activeAny = true
+			f := pe.filter
+			if cut && pe.pos >= f.negFrom {
+				signChecks++
+				if pe.psum <= 0 {
+					od[pe.outIdx] = pe.psum
+					writes++
+					cuts++
+					savedMACs += uint64(len(f.weights) - pe.pos)
+					pe.active = false
+					continue
+				}
+			}
+			if pe.pos >= len(f.weights) {
+				od[pe.outIdx] = pe.psum
+				writes++
+				pe.active = false
+				continue
+			}
+			off := int(f.offsets[pe.pos])
+			s := off % cs.S
+			r := (off / cs.S) % cs.R
+			c := off / (cs.R * cs.S)
+			// Group-aware channel: filter k belongs to group k/kg.
+			k := pe.outIdx / (xo * yo)
+			cc := (k/kg)*cg + c
+			ix := pe.ox*cs.Stride + r - cs.Padding
+			iy := pe.oy*cs.Stride + s - cs.Padding
+			var x float32
+			if ix >= 0 && ix < inX && iy >= 0 && iy < inY {
+				x = ind[(cc*inX+ix)*inY+iy]
+			}
+			pe.psum += f.weights[pe.pos] * x
+			pe.pos++
+			mults++
+			reads += 2 // one weight, one activation (via the index table)
+		}
+		if activeAny {
+			ctx.cycles++
+		}
+	}
+
+	ctx.counters.Add("mn.mults", mults)
+	ctx.counters.Add("rn.adders_lrn", mults)
+	ctx.counters.Add("gb.reads", reads)
+	ctx.counters.Add("gb.writes", writes)
+	ctx.counters.Add("dn.link_traversals", reads)
+	ctx.counters.Add("snapea.sign_checks", signChecks)
+	ctx.counters.Add("snapea.cuts", cuts)
+	ctx.counters.Add("snapea.saved_macs", savedMACs)
+	ctx.dram.WriteBack(cs.K * xo * yo)
+
+	m, n, kk := cs.GEMMDims()
+	run := ctx.finish("CONV", layer, m, n, kk)
+	return out, run, nil
+}
+
+// runSNAPEAConv is the RunConv dispatch target; without framework
+// knowledge of the following layer it conservatively enables cutting,
+// which is sound for conv+ReLU CNNs (the architecture's target domain).
+func (a *Accelerator) runSNAPEAConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	return a.RunSNAPEAConv(in, w, cs, layer, true)
+}
+
+// runSNAPEAGEMM executes C = A×B on the same output-stationary dot-product
+// lanes the convolutions use: each lane owns one output element at a time
+// and performs one MAC per cycle over the non-zero A row entries. The
+// sign-sorting/early-cut machinery stays off — SnaPEA applies it to
+// convolutions only — so this is how both the SNAPEA and Baseline versions
+// run the fully-connected layers.
+func (a *Accelerator) runSNAPEAGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	ctx := newRunCtx(&a.hw)
+	m, k := A.Dim(0), A.Dim(1)
+	n := B.Dim(1)
+	// Non-zero entries per row, gathered once (the weights are static).
+	type rowNZ struct {
+		idx  []int32
+		vals []float32
+	}
+	rows := make([]rowNZ, m)
+	ad := A.Data()
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			if v := ad[i*k+kk]; v != 0 {
+				rows[i].idx = append(rows[i].idx, int32(kk))
+				rows[i].vals = append(rows[i].vals, v)
+			}
+		}
+	}
+
+	C := tensor.New(m, n)
+	cd, bd := C.Data(), B.Data()
+	lanes := a.hw.MSSize
+
+	// Work queue over (i, j) output elements; lanes pick up the next when
+	// they finish, so the makespan is the greedy schedule's.
+	type lane struct {
+		active bool
+		i, j   int
+		pos    int
+		psum   float32
+	}
+	ls := make([]lane, lanes)
+	nextI, nextJ := 0, 0
+	more := m > 0 && n > 0
+	var mults, reads, writes uint64
+	active := true
+	for active {
+		active = false
+		for li := range ls {
+			l := &ls[li]
+			if !l.active {
+				if !more {
+					continue
+				}
+				l.active, l.i, l.j, l.pos, l.psum = true, nextI, nextJ, 0, 0
+				nextJ++
+				if nextJ == n {
+					nextJ = 0
+					nextI++
+					if nextI == m {
+						more = false
+					}
+				}
+				active = true
+				continue // assignment cycle
+			}
+			active = true
+			r := &rows[l.i]
+			if l.pos >= len(r.idx) {
+				cd[l.i*n+l.j] = l.psum
+				writes++
+				l.active = false
+				continue
+			}
+			l.psum += r.vals[l.pos] * bd[int(r.idx[l.pos])*n+l.j]
+			l.pos++
+			mults++
+			reads += 2
+		}
+		if active {
+			ctx.cycles++
+		}
+	}
+	ctx.counters.Add("mn.mults", mults)
+	ctx.counters.Add("rn.adders_lrn", mults)
+	ctx.counters.Add("gb.reads", reads)
+	ctx.counters.Add("gb.writes", writes)
+	ctx.counters.Add("dn.link_traversals", reads)
+	ctx.dram.WriteBack(m * n)
+	return C, ctx.finish("GEMM", layer, m, n, k), nil
+}

@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/config"
+	"repro/internal/dn"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// The SIGMA-like composition (sparse controller + Benes + DMN + FAN) runs
+// sparse-times-(possibly sparse) GEMMs: the non-zeros of the stationary MK
+// matrix are packed into rounds of dynamic-size clusters — one cluster per
+// filter/output-row chunk — and the KN matrix streams column by column,
+// each distinct k value multicast through the Benes network to every
+// switch holding a stationary element of that k. Zero streaming values are
+// skipped entirely, so cycle counts depend on the actual distribution of
+// zeros, the effect that breaks analytical models (Fig. 1c).
+
+// sigmaCluster is one mapped chunk: a contiguous run of switches holding
+// the chunk's stationary non-zeros.
+type sigmaCluster struct {
+	row    int
+	msBase int
+	ks     []int32   // k index per member switch
+	vals   []float32 // stationary value per member switch
+}
+
+// sigmaRound precomputes, per distinct k in the round, the member switches
+// that hold it, so streaming steps cost O(participants).
+type sigmaRound struct {
+	clusters []sigmaCluster
+	used     int
+	kOrder   []int32
+	kDests   map[int32][]int
+	// clusterOfMS maps switch → cluster index for expectation counting.
+	clusterOfMS []int
+}
+
+type sigmaSource struct {
+	rounds []sigmaRound
+	B      *tensor.Tensor
+	n      int
+
+	round int
+	phase int // 0 = stationary load, 1 = stream columns
+	col   int
+	seq   int
+
+	exhausted bool
+}
+
+func buildSigmaRounds(A *tensor.CSRMatrix, capacity int, policy sched.Policy, seed uint64) []sigmaRound {
+	nnz := make([]int, A.Rows)
+	for i := 0; i < A.Rows; i++ {
+		nnz[i] = A.RowNNZ(i)
+	}
+	packed := sched.Pack(nnz, capacity, policy, seed)
+	rounds := make([]sigmaRound, 0, len(packed))
+	for _, r := range packed {
+		sr := sigmaRound{kDests: map[int32][]int{}, clusterOfMS: make([]int, capacity)}
+		for i := range sr.clusterOfMS {
+			sr.clusterOfMS[i] = -1
+		}
+		base := 0
+		for ci, chunk := range r {
+			idx, vals := A.Row(chunk.Row)
+			cl := sigmaCluster{
+				row:    chunk.Row,
+				msBase: base,
+				ks:     idx[chunk.Start : chunk.Start+chunk.Len],
+				vals:   vals[chunk.Start : chunk.Start+chunk.Len],
+			}
+			for p, k := range cl.ks {
+				ms := base + p
+				if _, seen := sr.kDests[k]; !seen {
+					sr.kOrder = append(sr.kOrder, k)
+				}
+				sr.kDests[k] = append(sr.kDests[k], ms)
+				sr.clusterOfMS[ms] = ci
+			}
+			base += len(cl.ks)
+			sr.clusters = append(sr.clusters, cl)
+		}
+		sr.used = base
+		rounds = append(rounds, sr)
+	}
+	return rounds
+}
+
+func (s *sigmaSource) next() (workItem, bool) {
+	if s.exhausted {
+		return workItem{}, false
+	}
+	r := &s.rounds[s.round]
+
+	gen := uint32(s.round + 1)
+	if s.phase == 0 {
+		// Stationary load: every non-zero of the round is unicast into the
+		// shadow register of its switch (generation-tagged), so loading
+		// pipelines behind the previous round's streaming — SIGMA's
+		// double-buffered reconfiguration.
+		item := workItem{prefetch: r.used}
+		for _, cl := range r.clusters {
+			for p, v := range cl.vals {
+				item.deliveries = append(item.deliveries, dn.Delivery{
+					Pkt:   comp.Packet{Value: v, Kind: comp.WeightPkt, Gen: gen},
+					Dests: []int{cl.msBase + p},
+				})
+			}
+		}
+		s.phase = 1
+		s.col = 0
+		return item, true
+	}
+
+	// Stream one column of the KN matrix: distinct non-zero k values are
+	// multicast; clusters reduce whatever members participated.
+	item := workItem{}
+	seq := s.seq
+	s.seq++
+	j := s.col
+	expect := make([]int, len(r.clusters))
+	bd := s.B.Data()
+	for _, k := range r.kOrder {
+		bv := bd[int(k)*s.n+j]
+		if bv == 0 {
+			continue // streaming sparsity: never delivered, never multiplied
+		}
+		dests := r.kDests[k]
+		item.deliveries = append(item.deliveries, dn.Delivery{
+			Pkt:   comp.Packet{Value: bv, Kind: comp.InputPkt, Seq: seq, Gen: gen},
+			Dests: dests,
+		})
+		for _, ms := range dests {
+			expect[r.clusterOfMS[ms]]++
+		}
+	}
+	for ci, cl := range r.clusters {
+		if expect[ci] == 0 {
+			continue // entire chunk hit zeros in this column
+		}
+		members := make([]int, len(cl.ks))
+		for p := range cl.ks {
+			members[p] = cl.msBase + p
+		}
+		item.jobs = append(item.jobs, jobSpec{
+			vn: ci, seq: seq, expect: expect[ci],
+			outIdx:  cl.row*s.n + j,
+			last:    true, // each contribution exits and accumulates GB-side
+			members: members,
+		})
+	}
+
+	s.col++
+	if s.col >= s.n {
+		s.phase = 0
+		s.round++
+		if s.round >= len(s.rounds) {
+			s.exhausted = true
+		}
+	}
+	return item, true
+}
+
+// RunSpMM executes C = A×B where A is treated as sparse (bitmap or CSR
+// front format per the configuration) and zeros in B are skipped. policy
+// selects the filter scheduling strategy of use case 3 (nil = NS).
+func (a *Accelerator) RunSpMM(A, B *tensor.Tensor, layer string, policy *sched.Policy) (*tensor.Tensor, *stats.Run, error) {
+	if a.hw.Ctrl != config.SparseCtrl {
+		return nil, nil, fmt.Errorf("engine: RunSpMM requires the sparse controller, have %v", a.hw.Ctrl)
+	}
+	if A.Rank() != 2 || B.Rank() != 2 || A.Dim(1) != B.Dim(0) {
+		return nil, nil, fmt.Errorf("engine: SpMM shape mismatch %v × %v", A.Shape(), B.Shape())
+	}
+	pol := sched.NS
+	if policy != nil {
+		pol = *policy
+	}
+	csr, err := tensor.ToCSR(A)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, k := A.Dim(0), A.Dim(1)
+	n := B.Dim(1)
+
+	ctx := newRunCtx(&a.hw)
+	rounds := buildSigmaRounds(csr, a.hw.MSSize, pol, 0x51634)
+	// Empty operand: no rounds, the output is all zeros after 0 cycles.
+	if len(rounds) == 0 {
+		C := tensor.New(m, n)
+		return C, ctx.finish("SpMM", layer, m, n, k), nil
+	}
+
+	f, err := newFlexRun(ctx, a.hw.MSSize, m*n, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	f.sumOut = true
+	src := &sigmaSource{rounds: rounds, B: B, n: n}
+	f.src = src
+
+	// Sparse metadata traffic: the bitmap front format reads one bit per
+	// MK element (packed into 64-bit words); CSR reads one index per
+	// non-zero plus row pointers.
+	switch a.hw.SparseFormat {
+	case config.FmtBitmap:
+		ctx.counters.Add("gb.meta_reads", uint64((m*k+63)/64))
+	case config.FmtCSR:
+		ctx.counters.Add("gb.meta_reads", uint64(csr.NNZ()+m+1))
+	}
+
+	ctx.initialFill(csr.NNZ() + k*n)
+	if err := f.run(); err != nil {
+		return nil, nil, fmt.Errorf("engine: %s SpMM %s (%dx%dx%d): %w", a.hw.Name, layer, m, n, k, err)
+	}
+	ctx.dram.WriteBack(m * n)
+	C, err := tensor.FromSlice(f.out, m, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	run := ctx.finish("SpMM", layer, m, n, k)
+	run.Counters["sched.rounds"] = uint64(len(rounds))
+	return C, run, nil
+}
+
+// RunSpMMScheduled is RunSpMM with an explicit policy value (convenience
+// for the scheduling study).
+func (a *Accelerator) RunSpMMScheduled(A, B *tensor.Tensor, layer string, policy sched.Policy) (*tensor.Tensor, *stats.Run, error) {
+	return a.RunSpMM(A, B, layer, &policy)
+}
+
+// runSparseConv lowers the convolution to SpMM per group: sparse filter
+// matrix times im2col columns (any CONV maps to GEMM via img2col, Section
+// IV-B).
+func (a *Accelerator) runSparseConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	return a.RunConvScheduled(in, w, cs, layer, sched.NS)
+}
+
+// RunConvScheduled runs a convolution on the sparse controller with an
+// explicit filter-scheduling policy (use case 3: the prior-simulation
+// function reorders the filters, the sparse controller issues them in that
+// order).
+func (a *Accelerator) RunConvScheduled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, pol sched.Policy) (*tensor.Tensor, *stats.Run, error) {
+	if a.hw.Ctrl != config.SparseCtrl {
+		return nil, nil, fmt.Errorf("engine: filter scheduling requires the sparse controller, have %v", a.hw.Ctrl)
+	}
+	xo, yo := cs.OutX(), cs.OutY()
+	out := tensor.New(cs.N, cs.K, xo, yo)
+	kg := cs.K / cs.G
+	var agg *stats.Run
+	for g := 0; g < cs.G; g++ {
+		cols, err := tensor.Im2Col(in, cs, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		fm, err := tensor.FilterMatrix(w, cs, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		C, run, err := a.RunSpMM(fm, cols, fmt.Sprintf("%s.g%d", layer, g), &pol)
+		if err != nil {
+			return nil, nil, err
+		}
+		nc := xo * yo
+		for kf := 0; kf < kg; kf++ {
+			kk := g*kg + kf
+			for b := 0; b < cs.N; b++ {
+				for pix := 0; pix < nc; pix++ {
+					out.Set(C.At(kf, b*nc+pix), b, kk, pix/yo, pix%yo)
+				}
+			}
+		}
+		if agg == nil {
+			agg = run
+			agg.Op = "CONV"
+			agg.Layer = layer
+		} else {
+			mergeRuns(agg, run)
+		}
+	}
+	m, n, k := cs.GEMMDims()
+	agg.M, agg.N, agg.K = m, n, k
+	recomputeUtilization(agg, a.hw.MSSize)
+	return out, agg, nil
+}
+
+func mergeRuns(dst, src *stats.Run) {
+	dst.Cycles += src.Cycles
+	dst.MACs += src.MACs
+	dst.MemAccesses += src.MemAccesses
+	for k, v := range src.Counters {
+		dst.Counters[k] += v
+	}
+}
+
+func recomputeUtilization(r *stats.Run, msSize int) {
+	if r.Cycles > 0 {
+		r.Utilization = float64(r.MACs) / (float64(r.Cycles) * float64(msSize))
+	}
+}

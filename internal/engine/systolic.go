@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// The TPU-like composition (dense controller + PoPN + LMN + LRN) is an
+// output-stationary systolic array: A operands enter skewed from the west
+// and travel east, B operands enter skewed from the north and travel
+// south, and each processing element accumulates its C element in place.
+// The simulation shifts the physical registers cycle by cycle, so the
+// result is computed by the modelled datapath itself.
+//
+// Per-tile latency calibration: streaming K operands through a P×P array
+// takes K + 2(P-1) + 1 cycles from first injection to last MAC; the
+// output drain through the linear reduction chain overlaps column-parallel
+// and adds a constant 4 cycles, matching the counts STONNE reports for the
+// Table V TPU microbenchmarks (67/51 cycles for 16×16 tiles at K=32/16).
+const systolicDrainCycles = 4
+
+type systolicArray struct {
+	*runCtx
+	p          int
+	a, b, acc  []float32
+	aNxt, bNxt []float32
+}
+
+func newSystolicArray(ctx *runCtx) (*systolicArray, error) {
+	p := isqrt(ctx.hw.MSSize)
+	if p*p != ctx.hw.MSSize {
+		return nil, fmt.Errorf("engine: systolic array needs a square PE count, got %d", ctx.hw.MSSize)
+	}
+	if ctx.hw.DNBandwidth < 2*p {
+		return nil, fmt.Errorf("engine: systolic array requires full edge bandwidth (%d), configured %d",
+			2*p, ctx.hw.DNBandwidth)
+	}
+	n := p * p
+	return &systolicArray{
+		runCtx: ctx,
+		p:      p,
+		a:      make([]float32, n), b: make([]float32, n), acc: make([]float32, n),
+		aNxt: make([]float32, n), bNxt: make([]float32, n),
+	}, nil
+}
+
+// runTile streams one (P rows × P cols × K) tile and scatters the partial
+// results into C (row-major m×n), accumulating across K panels.
+func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, nj0, k0, kw int) {
+	p := s.p
+	for i := range s.acc {
+		s.acc[i], s.a[i], s.b[i] = 0, 0, 0
+	}
+	ad, bd := A.Data(), B.Data()
+	streamLen := kw + 2*(p-1) + 1
+	var mults, fwds uint64
+	for t := 0; t < streamLen; t++ {
+		// Shift: west→east for A, north→south for B, then inject edges.
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				idx := i*p + j
+				if j > 0 {
+					s.aNxt[idx] = s.a[idx-1]
+				} else {
+					var v float32
+					kk := t - i
+					mi := mi0 + i
+					if kk >= 0 && kk < kw && mi < m {
+						v = ad[mi*k+k0+kk]
+						s.gb.Read(1)
+						s.counters.Add("dn.link_traversals", 1)
+						s.counters.Add("dn.injections", 1)
+					}
+					s.aNxt[idx] = v
+				}
+				if i > 0 {
+					s.bNxt[idx] = s.b[idx-p]
+				} else {
+					var v float32
+					kk := t - j
+					nj := nj0 + j
+					if kk >= 0 && kk < kw && nj < n {
+						v = bd[(k0+kk)*n+nj]
+						s.gb.Read(1)
+						s.counters.Add("dn.link_traversals", 1)
+						s.counters.Add("dn.injections", 1)
+					}
+					s.bNxt[idx] = v
+				}
+			}
+		}
+		s.a, s.aNxt = s.aNxt, s.a
+		s.b, s.bNxt = s.bNxt, s.b
+		// MAC: every PE inside its active window fires. Only PEs mapped to
+		// valid output elements toggle their datapath (energy); padded
+		// positions stream zeros and spend the cycles but not the events.
+		for i := 0; i < p; i++ {
+			if mi0+i >= m {
+				break
+			}
+			for j := 0; j < p; j++ {
+				if nj0+j >= n {
+					break
+				}
+				kk := t - i - j
+				if kk < 0 || kk >= kw {
+					continue
+				}
+				idx := i*p + j
+				s.acc[idx] += s.a[idx] * s.b[idx]
+				mults++
+				fwds += 2 // operand pass-through to east and south neighbours
+			}
+		}
+	}
+	s.cycles += uint64(streamLen + systolicDrainCycles)
+	s.counters.Add("mn.mults", mults)
+	s.counters.Add("rn.adders_lrn", mults) // in-place accumulation chain (LRN)
+	s.counters.Add("mn.forwards", fwds)
+
+	// Drain valid outputs into C.
+	for i := 0; i < p; i++ {
+		mi := mi0 + i
+		if mi >= m {
+			break
+		}
+		for j := 0; j < p; j++ {
+			nj := nj0 + j
+			if nj >= n {
+				break
+			}
+			C[mi*n+nj] += s.acc[i*p+j]
+			s.gb.Write(1)
+			s.counters.Add("rn.outputs", 1)
+		}
+	}
+}
+
+// runSystolicGEMM tiles an M×N×K GEMM over the array; tiles execute
+// back-to-back (the rigid pipeline cannot overlap tile boundaries, which
+// is precisely the behaviour the RTL validation shows).
+func (a *Accelerator) runSystolicGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	ctx := newRunCtx(&a.hw)
+	arr, err := newSystolicArray(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, k := A.Dim(0), A.Dim(1)
+	n := B.Dim(1)
+	C := make([]float32, m*n)
+	p := arr.p
+	// The GB working set per K panel must fit; panels larger than the
+	// buffer are split (K folding with in-C accumulation).
+	kPanel := k
+	if maxK := ctx.gb.CapacityElems() / (4 * p); kPanel > maxK && maxK > 0 {
+		kPanel = maxK
+	}
+	ctx.initialFill(min(m*k+k*n, ctx.gb.CapacityElems()/2))
+	for k0 := 0; k0 < k; k0 += kPanel {
+		kw := min(kPanel, k-k0)
+		for mi0 := 0; mi0 < m; mi0 += p {
+			for nj0 := 0; nj0 < n; nj0 += p {
+				arr.runTile(A, B, C, m, n, k, mi0, nj0, k0, kw)
+			}
+		}
+	}
+	ctx.dram.WriteBack(m * n)
+	out, err := tensor.FromSlice(C, m, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, ctx.finish("GEMM", layer, m, n, k), nil
+}
+
+// runSystolicConv lowers the convolution to GEMM with im2col — how rigid
+// systolic designs execute convolutions — and reshapes the result.
+func (a *Accelerator) runSystolicConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	ctx := newRunCtx(&a.hw)
+	arr, err := newSystolicArray(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	xo, yo := cs.OutX(), cs.OutY()
+	out := tensor.New(cs.N, cs.K, xo, yo)
+	kg := cs.K / cs.G
+	p := arr.p
+	gm, gn, gk := cs.GEMMDims()
+	ctx.initialFill(min(in.Len()+w.Len(), ctx.gb.CapacityElems()/2))
+	for g := 0; g < cs.G; g++ {
+		cols, err := tensor.Im2Col(in, cs, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		fm, err := tensor.FilterMatrix(w, cs, g)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, k := fm.Dim(0), fm.Dim(1)
+		n := cols.Dim(1)
+		C := make([]float32, m*n)
+		kPanel := k
+		if maxK := ctx.gb.CapacityElems() / (4 * p); kPanel > maxK && maxK > 0 {
+			kPanel = maxK
+		}
+		for k0 := 0; k0 < k; k0 += kPanel {
+			kw := min(kPanel, k-k0)
+			for mi0 := 0; mi0 < m; mi0 += p {
+				for nj0 := 0; nj0 < n; nj0 += p {
+					arr.runTile(fm, cols, C, m, n, k, mi0, nj0, k0, kw)
+				}
+			}
+		}
+		nc := xo * yo
+		for kf := 0; kf < kg; kf++ {
+			kk := g*kg + kf
+			for b := 0; b < cs.N; b++ {
+				for pix := 0; pix < nc; pix++ {
+					out.Set(C[kf*n+b*nc+pix], b, kk, pix/yo, pix%yo)
+				}
+			}
+		}
+	}
+	ctx.dram.WriteBack(cs.K * xo * yo)
+	return out, ctx.finish("CONV", layer, gm, gn, gk), nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analytical"
+	"repro/internal/config"
+	"repro/internal/dnn"
+	"repro/internal/engine"
+	"repro/internal/mapper"
+	"repro/internal/tensor"
+)
+
+// Fig1Row is one bar pair of Figure 1: cycle counts from the cycle-level
+// simulator (ST) and the analytical model (AM) for one layer and
+// configuration.
+type Fig1Row struct {
+	Layer  string  // "S-SC", ...
+	Config string  // "16x16", "bw=64", "sp=0.9", ...
+	ST     uint64  // cycle-level simulation
+	AM     float64 // analytical model
+}
+
+// RatioSTOverAM is the headline metric: how much the analytical model
+// underestimates.
+func (r Fig1Row) RatioSTOverAM() float64 {
+	if r.AM == 0 {
+		return 0
+	}
+	return float64(r.ST) / r.AM
+}
+
+// Fig1a compares STONNE against the SCALE-Sim-style analytical model for
+// an output-stationary systolic array of 16×16, 32×32 and 64×64 PEs over
+// the eight representative layers — the rigid case where both should agree
+// closely.
+func Fig1a(scale int) ([]Fig1Row, error) {
+	layers, err := RepresentativeLayers(scale)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig1Row
+	for _, pe := range []int{16, 32, 64} {
+		hw := config.TPULike(pe * pe)
+		hw.Preloaded = true
+		acc, err := engine.New(hw)
+		if err != nil {
+			return nil, err
+		}
+		for _, rl := range layers {
+			m, n, k := rl.Layer.GEMMDims()
+			var st uint64
+			if rl.Layer.Kind == dnn.Conv {
+				in, w := convOperands(&rl.Layer, 0)
+				_, run, err := acc.RunConv(in, w, rl.Layer.Conv, rl.Tag)
+				if err != nil {
+					return nil, fmt.Errorf("fig1a %s: %w", rl.Tag, err)
+				}
+				st = run.Cycles
+			} else {
+				A, B, err := layerOperands(&rl.Layer, 0, 0xf16a)
+				if err != nil {
+					return nil, err
+				}
+				_, run, err := acc.RunGEMM(A, B, rl.Tag)
+				if err != nil {
+					return nil, fmt.Errorf("fig1a %s: %w", rl.Tag, err)
+				}
+				st = run.Cycles
+			}
+			am, err := analytical.SystolicOS(m, n, k, pe)
+			if err != nil {
+				return nil, err
+			}
+			// Grouped convolutions run once per group on both sides.
+			if rl.Layer.Kind == dnn.Conv {
+				am *= float64(rl.Layer.Conv.G)
+			}
+			rows = append(rows, Fig1Row{
+				Layer: rl.Tag, Config: fmt.Sprintf("%dx%d", pe, pe), ST: st, AM: am,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig1b compares STONNE against the MAERI analytical model on a
+// 128-multiplier flexible dense accelerator while the Global Buffer
+// bandwidth shrinks from 128 to 64 to 32 elements/cycle — the flexible
+// case where the analytical model misses pipeline stalls.
+func Fig1b(scale int) ([]Fig1Row, error) {
+	layers, err := RepresentativeLayers(scale)
+	if err != nil {
+		return nil, err
+	}
+	const ms = 128
+	var rows []Fig1Row
+	for _, bw := range []int{128, 64, 32} {
+		hw := config.MAERILike(ms, bw)
+		hw.Preloaded = true
+		acc, err := engine.New(hw)
+		if err != nil {
+			return nil, err
+		}
+		for _, rl := range layers {
+			var st uint64
+			var am float64
+			if rl.Layer.Kind == dnn.Conv {
+				cs := rl.Layer.Conv
+				in, w := convOperands(&rl.Layer, 0)
+				_, run, err := acc.RunConv(in, w, cs, rl.Tag)
+				if err != nil {
+					return nil, fmt.Errorf("fig1b %s bw=%d: %w", rl.Tag, bw, err)
+				}
+				st = run.Cycles
+				tile, err := mapper.PickConv(&hw, cs)
+				if err != nil {
+					return nil, err
+				}
+				am, err = analytical.MAERIConv(analytical.MAERIConvParams{
+					K: cs.K / cs.G, C: cs.C / cs.G, G: cs.G, R: cs.R, S: cs.S,
+					Xo: cs.OutX(), Yo: cs.OutY(),
+					TK: tile.TK, TYp: tile.TYp, TC: tile.TC,
+					MSSize: ms, Bandwidth: bw,
+				})
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				A, B, err := layerOperands(&rl.Layer, 0, 0xf16b)
+				if err != nil {
+					return nil, err
+				}
+				_, run, err := acc.RunGEMM(A, B, rl.Tag)
+				if err != nil {
+					return nil, fmt.Errorf("fig1b %s bw=%d: %w", rl.Tag, bw, err)
+				}
+				st = run.Cycles
+				m, n, k := rl.Layer.GEMMDims()
+				tile, err := mapper.PickGEMM(&hw, m, n, k)
+				if err != nil {
+					return nil, err
+				}
+				am, err = analytical.MAERIGEMM(analytical.MAERIGEMMParams{
+					M: m, N: n, K: k,
+					TM: tile.TM, TN: tile.TN, KSlice: tile.KSlice,
+					MSSize: ms, Bandwidth: bw,
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, Fig1Row{
+				Layer: rl.Tag, Config: fmt.Sprintf("bw=%d", bw), ST: st, AM: am,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig1c compares STONNE against the SIGMA analytical model at full
+// bandwidth while the weight sparsity sweeps 0% → 90% — the sparse case
+// where the distribution of zeros (invisible to a formula) drives the
+// cycle count.
+func Fig1c(scale int) ([]Fig1Row, error) {
+	layers, err := RepresentativeLayers(scale)
+	if err != nil {
+		return nil, err
+	}
+	const ms, bw = 128, 128
+	hw := config.SIGMALike(ms, bw)
+	hw.Preloaded = true
+	acc, err := engine.New(hw)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig1Row
+	for _, sp := range []float64{0, 0.3, 0.5, 0.7, 0.9} {
+		for _, rl := range layers {
+			m, n, k := rl.Layer.GEMMDims()
+			A, B, err := layerOperands(&rl.Layer, sp, 0xf16c)
+			if err != nil {
+				return nil, err
+			}
+			_, run, err := acc.RunSpMM(A, B, rl.Tag, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig1c %s sp=%.1f: %w", rl.Tag, sp, err)
+			}
+			am, err := analytical.SIGMA(analytical.SIGMAParams{
+				M: m, N: n, K: k,
+				SparsityA: A.Sparsity(), SparsityB: B.Sparsity(),
+				MSSize: ms, Bandwidth: bw,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig1Row{
+				Layer: rl.Tag, Config: fmt.Sprintf("sp=%.0f%%", sp*100), ST: run.Cycles, AM: am,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// convOperands builds deterministic input and weight tensors for a conv
+// layer, pruning weights to the given sparsity.
+func convOperands(l *dnn.Layer, sparsity float64) (in, w *tensor.Tensor) {
+	cs := l.Conv
+	rng := dnn.NewRNG(0xc04 + uint64(cs.K*cs.C*cs.X))
+	in = tensor.New(1, cs.C, cs.X, cs.Y)
+	for i, d := 0, in.Data(); i < len(d); i++ {
+		v := rng.Normal()
+		if v < 0 {
+			v = 0
+		}
+		d[i] = float32(v)
+	}
+	w = tensor.New(cs.K, cs.C/cs.G, cs.R, cs.S)
+	for i, d := 0, w.Data(); i < len(d); i++ {
+		d[i] = float32(rng.Normal())
+	}
+	if sparsity > 0 {
+		_ = pruneDense(w, sparsity)
+	}
+	return in, w
+}

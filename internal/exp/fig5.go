@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dnn"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/stonne"
+)
+
+// Fig5Row is one bar of Figure 5: full-model inference of one DNN on one
+// of the three use-case-1 architectures (TPU-like, MAERI-like,
+// SIGMA-like), with cycles, the per-component energy breakdown and the
+// area breakdown.
+type Fig5Row struct {
+	Model string
+	Arch  string
+	Scale int
+
+	Cycles      uint64
+	MACs        uint64
+	Utilization float64
+
+	EnergyUJ    map[string]float64
+	TotalEnergy float64
+
+	AreaUM2   map[string]float64
+	TotalArea float64
+}
+
+// fig5Arches are the use-case-1 systems: 256 multipliers/adders, 128
+// elements/cycle GB bandwidth for the flexible designs, full bandwidth for
+// the TPU (Section VI-A).
+func fig5Arches() []config.Hardware {
+	return []config.Hardware{
+		config.TPULike(256),
+		config.MAERILike(256, 128),
+		config.SIGMALike(256, 128),
+	}
+}
+
+// Fig5 runs the complete inference of the requested models (nil = all
+// seven of Table I) on the three architectures at the given spatial scale
+// and returns one row per (model, architecture).
+func Fig5(scale int, tags []string) ([]Fig5Row, error) {
+	if tags == nil {
+		tags = []string{"M", "S", "A", "R", "V", "S-M", "B"}
+	}
+	var rows []Fig5Row
+	for _, tag := range tags {
+		full, err := dnn.ModelByShort(tag)
+		if err != nil {
+			return nil, err
+		}
+		m, err := dnn.ScaleSpatial(full, scale)
+		if err != nil {
+			return nil, err
+		}
+		w := dnn.InitWeights(m, 0xf165)
+		if err := w.Prune(m.Sparsity); err != nil {
+			return nil, err
+		}
+		input := dnn.RandomInput(m, 0x1217)
+		for _, hw := range fig5Arches() {
+			mr, err := runModelStats(m, w, input, hw)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s on %s: %w", m.Name, hw.Name, err)
+			}
+			row := Fig5Row{
+				Model: full.Name, Arch: hw.Name, Scale: scale,
+				Cycles: mr.TotalCycles(), MACs: mr.TotalMACs(),
+				Utilization: mr.AvgUtilization(),
+				EnergyUJ:    onChip(mr.EnergyBreakdown()),
+				AreaUM2:     energy.Area(&hw),
+				TotalArea:   energy.TotalArea(&hw),
+			}
+			for _, v := range row.EnergyUJ {
+				row.TotalEnergy += v
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// onChip keeps the four components of the paper's Fig. 5b breakdown
+// (Global Buffer, Distribution, Multiplier and Reduction networks),
+// dropping the off-chip DRAM and control bookkeeping.
+func onChip(br map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for _, k := range []string{"GB", "DN", "MN", "RN"} {
+		out[k] = br[k]
+	}
+	return out
+}
+
+// runModelStats offloads every compute-intensive layer onto the hardware
+// and returns the aggregated statistics (without the functional output,
+// which Fig. 5 does not need).
+func runModelStats(m *dnn.Model, w *dnn.Weights, input *stonne.Tensor, hw config.Hardware) (*stats.ModelRun, error) {
+	_, mr, err := stonne.RunModel(m, w, input, hw, nil)
+	return mr, err
+}

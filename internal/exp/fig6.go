@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dnn"
+	"repro/stonne"
+)
+
+// Fig6Row summarizes use case 2 for one CNN model: the SNAPEA-like
+// architecture against the same architecture without the negative
+// detection logic (the paper's Baseline), over a set of input images.
+type Fig6Row struct {
+	Model string
+	Scale int
+
+	// Speedup = baseline cycles / SNAPEA cycles (Fig. 6a; paper: ~1.35×).
+	Speedup float64
+	// EnergyNorm = SNAPEA energy / baseline energy (Fig. 6b; ~0.79).
+	EnergyNorm float64
+	// OpsNorm = SNAPEA MACs / baseline MACs (Fig. 6c; ~0.70).
+	OpsNorm float64
+	// MemNorm = SNAPEA GB accesses / baseline accesses (Fig. 6d; ~0.84).
+	MemNorm float64
+}
+
+// Fig6 runs the four purely-CNN models (Alexnet, Squeezenet, VGG-16,
+// Resnets-50) on the 64-multiplier SNAPEA configuration with `images`
+// distinct inputs each, comparing exact-mode early termination against the
+// baseline.
+func Fig6(scale, images int) ([]Fig6Row, error) {
+	if images < 1 {
+		images = 1
+	}
+	hw := config.SNAPEALike(64, 64)
+	var rows []Fig6Row
+	for _, tag := range []string{"A", "S", "V", "R"} {
+		full, err := dnn.ModelByShort(tag)
+		if err != nil {
+			return nil, err
+		}
+		m, err := dnn.ScaleSpatial(full, scale)
+		if err != nil {
+			return nil, err
+		}
+		w := dnn.InitWeights(m, 0xf166)
+		if err := w.Prune(m.Sparsity); err != nil {
+			return nil, err
+		}
+		var cycA, cycB, opsA, opsB, memA, memB uint64
+		var enA, enB float64
+		for img := 0; img < images; img++ {
+			input := dnn.RandomInput(m, 0x100+uint64(img))
+			_, snap, err := stonne.RunModel(m, w, input, hw, nil)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s snapea: %w", m.Name, err)
+			}
+			_, base, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{DisableSNAPEACut: true})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s baseline: %w", m.Name, err)
+			}
+			cycA += snap.TotalCycles()
+			cycB += base.TotalCycles()
+			opsA += snap.TotalMACs()
+			opsB += base.TotalMACs()
+			memA += snap.TotalMemAccesses()
+			memB += base.TotalMemAccesses()
+			enA += snap.TotalEnergy()
+			enB += base.TotalEnergy()
+		}
+		rows = append(rows, Fig6Row{
+			Model: full.Name, Scale: scale,
+			Speedup:    ratio(cycB, cycA),
+			EnergyNorm: enA / enB,
+			OpsNorm:    ratio(opsA, opsB),
+			MemNorm:    ratio(memA, memB),
+		})
+	}
+	return rows, nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

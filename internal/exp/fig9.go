@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/dnn"
+	"repro/internal/sched"
+	"repro/stonne"
+)
+
+// Fig9Row is one bar group of Figure 9a/9b: a model's full inference on
+// the 256-MS SIGMA-like architecture under one filter-scheduling policy,
+// normalized to the No-Scheduling run.
+type Fig9Row struct {
+	Model  string
+	Policy string
+	Scale  int
+
+	Cycles      uint64
+	Utilization float64
+	EnergyUJ    float64
+
+	// NormRuntime and NormEnergy are relative to the NS policy (1.0).
+	NormRuntime float64
+	NormEnergy  float64
+}
+
+// Fig9 runs the seven models under NS, RDM and LFF on the use-case-3
+// system (256 multipliers, 128 elements/cycle bandwidth).
+func Fig9(scale int, tags []string) ([]Fig9Row, error) {
+	if tags == nil {
+		tags = []string{"M", "S", "A", "R", "V", "S-M", "B"}
+	}
+	hw := config.SIGMALike(256, 128)
+	policies := []sched.Policy{sched.NS, sched.RDM, sched.LFF}
+	var rows []Fig9Row
+	for _, tag := range tags {
+		full, err := dnn.ModelByShort(tag)
+		if err != nil {
+			return nil, err
+		}
+		m, err := dnn.ScaleSpatial(full, scale)
+		if err != nil {
+			return nil, err
+		}
+		w := dnn.InitWeights(m, 0xf169)
+		if err := w.Prune(m.Sparsity); err != nil {
+			return nil, err
+		}
+		input := dnn.RandomInput(m, 0x919)
+		var nsCycles uint64
+		var nsEnergy float64
+		for _, pol := range policies {
+			_, mr, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{Policy: pol})
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s %v: %w", m.Name, pol, err)
+			}
+			row := Fig9Row{
+				Model: full.Name, Policy: pol.String(), Scale: scale,
+				Cycles:      mr.TotalCycles(),
+				Utilization: mr.AvgUtilization(),
+				EnergyUJ:    mr.TotalEnergy(),
+			}
+			if pol == sched.NS {
+				nsCycles, nsEnergy = row.Cycles, row.EnergyUJ
+			}
+			row.NormRuntime = float64(row.Cycles) / float64(nsCycles)
+			row.NormEnergy = row.EnergyUJ / nsEnergy
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig9cRow is one layer of the Resnets-50 sensitivity study (Fig. 9c): the
+// LFF runtime and energy of the layer normalized to its NS run.
+type Fig9cRow struct {
+	Layer       string
+	NormRuntime float64
+	NormEnergy  float64
+	UtilGain    float64 // LFF − NS multiplier utilization
+}
+
+// Fig9c runs every offloaded Resnets-50 layer under NS and LFF and returns
+// the rows sorted by sensitivity (most-improved first). The paper shows 14
+// representative layers spanning its low/medium/high sensitivity classes;
+// callers slice the extremes.
+func Fig9c(scale int) ([]Fig9cRow, error) {
+	hw := config.SIGMALike(256, 128)
+	full := dnn.ResNet50()
+	m, err := dnn.ScaleSpatial(full, scale)
+	if err != nil {
+		return nil, err
+	}
+	w := dnn.InitWeights(m, 0xf169)
+	if err := w.Prune(m.Sparsity); err != nil {
+		return nil, err
+	}
+	input := dnn.RandomInput(m, 0x919)
+
+	runs := map[string][2]*stonne.Run{} // layer -> [NS, LFF]
+	for pi, pol := range []sched.Policy{sched.NS, sched.LFF} {
+		_, mr, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{Policy: pol})
+		if err != nil {
+			return nil, fmt.Errorf("fig9c %v: %w", pol, err)
+		}
+		for _, r := range mr.Runs {
+			pair := runs[r.Layer]
+			pair[pi] = r
+			runs[r.Layer] = pair
+		}
+	}
+	var rows []Fig9cRow
+	for layer, pair := range runs {
+		ns, lff := pair[0], pair[1]
+		if ns == nil || lff == nil || ns.Cycles == 0 {
+			continue
+		}
+		rows = append(rows, Fig9cRow{
+			Layer:       layer,
+			NormRuntime: float64(lff.Cycles) / float64(ns.Cycles),
+			NormEnergy:  lff.TotalEnergy() / ns.TotalEnergy(),
+			UtilGain:    lff.Utilization - ns.Utilization,
+		})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].NormRuntime != rows[b].NormRuntime {
+			return rows[a].NormRuntime < rows[b].NormRuntime
+		}
+		return rows[a].Layer < rows[b].Layer
+	})
+	return rows, nil
+}

@@ -1,0 +1,99 @@
+// Package exp implements the paper's evaluation: one function per table or
+// figure, each returning structured rows that the cmd/experiments harness
+// prints and the benchmark suite regenerates. Workload scaling (the
+// documented substitution for the authors' multi-day cluster runs) is a
+// parameter everywhere and recorded in the results.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/tensor"
+)
+
+// RepLayer is one of the eight representative layers of Figure 1,
+// "X-Y" = model tag - layer class.
+type RepLayer struct {
+	Tag   string // e.g. "S-SC"
+	Model string
+	Layer dnn.Layer
+}
+
+// repLayerSpecs names the concrete layer chosen for each Figure 1 tag.
+var repLayerSpecs = []struct {
+	tag, model, layer string
+}{
+	{"S-SC", "S", "fire4_squeeze"},
+	{"S-EC", "S", "fire4_expand3x3"},
+	{"M-FC", "M", "dw7"},
+	{"M-L", "M", "fc"},
+	{"R-C", "R", "res3_2_b"},
+	{"R-L", "R", "fc"},
+	{"B-TR", "B", "enc1_q"},
+	{"B-L", "B", "enc1_ffn_up"},
+}
+
+// RepresentativeLayers returns the eight Figure 1 layers (Squeeze, Expand,
+// Factorized and Regular Convolutions, Linear, Transformer) drawn from
+// Squeezenet, Resnets-50, Mobilenets and BERT, at the given spatial scale.
+func RepresentativeLayers(scale int) ([]RepLayer, error) {
+	models := map[string]*dnn.Model{}
+	for _, m := range dnn.AllModels() {
+		s, err := dnn.ScaleSpatial(m, scale)
+		if err != nil {
+			return nil, err
+		}
+		models[m.Short] = s
+	}
+	var out []RepLayer
+	for _, spec := range repLayerSpecs {
+		m, ok := models[spec.model]
+		if !ok {
+			return nil, fmt.Errorf("exp: no model with tag %s", spec.model)
+		}
+		found := false
+		for i := range m.Layers {
+			if m.Layers[i].Name == spec.layer {
+				out = append(out, RepLayer{Tag: spec.tag, Model: m.Name, Layer: m.Layers[i]})
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("exp: layer %s not found in %s", spec.layer, m.Name)
+		}
+	}
+	return out, nil
+}
+
+// layerOperands builds deterministic operand tensors for a representative
+// layer: the weight/filter matrix and the input/im2col matrix of its GEMM
+// lowering, with weights optionally pruned to a sparsity ratio.
+func layerOperands(l *dnn.Layer, sparsity float64, seed uint64) (A, B *tensor.Tensor, err error) {
+	m, n, k := l.GEMMDims()
+	rng := dnn.NewRNG(seed)
+	A = tensor.New(m, k)
+	for i, d := 0, A.Data(); i < len(d); i++ {
+		d[i] = float32(rng.Normal())
+	}
+	if sparsity > 0 {
+		if err := pruneDense(A, sparsity); err != nil {
+			return nil, nil, err
+		}
+	}
+	B = tensor.New(k, n)
+	for i, d := 0, B.Data(); i < len(d); i++ {
+		v := rng.Normal()
+		if v < 0 {
+			v = 0 // post-ReLU activation statistics
+		}
+		d[i] = float32(v)
+	}
+	return A, B, nil
+}
+
+func pruneDense(t *tensor.Tensor, target float64) error {
+	w := &dnn.Weights{ByLayer: map[string]*tensor.Tensor{"x": t}}
+	return w.Prune(target)
+}

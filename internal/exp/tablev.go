@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/engine"
+)
+
+// TableVResult is one validation row: published RTL and STONNE counts
+// alongside this implementation's cycles and error.
+type TableVResult struct {
+	engine.TableVRow
+	Got     uint64
+	ErrRTL  float64 // (got-RTL)/RTL
+	ErrOrig float64 // (got-original STONNE)/original
+}
+
+// TableVRun executes the eleven validation microbenchmarks.
+func TableVRun() ([]TableVResult, float64, error) {
+	var out []TableVResult
+	var sumAbs float64
+	rows := engine.TableV()
+	for _, row := range rows {
+		run, err := engine.RunTableVRow(row)
+		if err != nil {
+			return nil, 0, err
+		}
+		r := TableVResult{
+			TableVRow: row,
+			Got:       run.Cycles,
+			ErrRTL:    (float64(run.Cycles) - float64(row.RTL)) / float64(row.RTL),
+			ErrOrig:   (float64(run.Cycles) - float64(row.STONNE)) / float64(row.STONNE),
+		}
+		sumAbs += math.Abs(r.ErrRTL)
+		out = append(out, r)
+	}
+	return out, sumAbs / float64(len(rows)), nil
+}

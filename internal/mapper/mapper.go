@@ -1,0 +1,139 @@
+// Package mapper selects tile configurations — the role of STONNE's Mapper
+// block in Figure 2(a), inspired by mRNA: given the layer shape and the
+// hardware, it picks the Tile(T_R, T_S, T_C, T_G, T_K, T_N, T_X', T_Y')
+// partition (Section IV-B) and derives the virtual-neuron arrangement the
+// Configuration Unit programs into the fabric.
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/tensor"
+)
+
+// Tile is the dense-controller tile descriptor of Section IV-B.
+type Tile struct {
+	TR, TS, TC      int // dot-product slice mapped per virtual neuron
+	TG, TK, TN      int // parallel groups / filters / batch
+	TXp, TYp        int // parallel output positions
+	VNSize          int // TR·TS·TC
+	NumVNs          int // TG·TK·TN·TXp·TYp
+	Folds           int // sequential iterations to cover the full dot product
+	UsedMultipliers int
+}
+
+// Validate checks internal consistency against the layer it was built for.
+func (t Tile) Validate(cs tensor.ConvShape) error {
+	switch {
+	case t.VNSize != t.TR*t.TS*t.TC:
+		return fmt.Errorf("mapper: VNSize %d != TR·TS·TC %d", t.VNSize, t.TR*t.TS*t.TC)
+	case t.NumVNs != t.TG*t.TK*t.TN*t.TXp*t.TYp:
+		return fmt.Errorf("mapper: NumVNs %d != product of parallel dims %d",
+			t.NumVNs, t.TG*t.TK*t.TN*t.TXp*t.TYp)
+	case t.TR > cs.R || t.TS > cs.S || t.TC > cs.C/cs.G:
+		return fmt.Errorf("mapper: tile %+v exceeds filter dims of %+v", t, cs)
+	case t.Folds < 1:
+		return fmt.Errorf("mapper: folds must be >= 1, got %d", t.Folds)
+	}
+	return nil
+}
+
+// PickConv chooses a convolution tile for the hardware: the full filter
+// spatial extent when it fits (T_R=R, T_S=S), the largest channel slice
+// that keeps VNSize within the fabric, and the remaining multipliers spent
+// on parallel output positions, then parallel filters.
+func PickConv(h *config.Hardware, cs tensor.ConvShape) (Tile, error) {
+	if err := cs.Validate(); err != nil {
+		return Tile{}, err
+	}
+	cg := cs.C / cs.G
+	kg := cs.K / cs.G
+	t := Tile{TG: 1, TN: 1}
+
+	window := cs.R * cs.S
+	switch {
+	case window > h.MSSize:
+		// Filter window alone exceeds the fabric: fold over the window.
+		t.TR, t.TS, t.TC = cs.R, cs.S, 1
+		t.VNSize = h.MSSize
+		t.Folds = ceilDiv(window*cg, h.MSSize)
+		t.NumVNs = 1
+		t.TK, t.TXp, t.TYp = 1, 1, 1
+		t.UsedMultipliers = h.MSSize
+		return t, nil
+	default:
+		t.TR, t.TS = cs.R, cs.S
+		t.TC = h.MSSize / window
+		if t.TC > cg {
+			t.TC = cg
+		}
+		if t.TC < 1 {
+			t.TC = 1
+		}
+		t.VNSize = t.TR * t.TS * t.TC
+		t.Folds = ceilDiv(cg, t.TC)
+	}
+
+	// Spend the remaining switches on parallel virtual neurons: output
+	// positions first (maximizes sliding-window reuse on a Linear MN),
+	// then filters.
+	avail := h.MSSize / t.VNSize
+	yo := cs.OutY()
+	t.TYp = min(avail, yo)
+	avail /= t.TYp
+	t.TXp = 1
+	t.TK = min(avail, kg)
+	if t.TK < 1 {
+		t.TK = 1
+	}
+	t.NumVNs = t.TG * t.TK * t.TN * t.TXp * t.TYp
+	t.UsedMultipliers = t.NumVNs * t.VNSize
+	return t, nil
+}
+
+// GEMMTile describes the mapping of a plain M×N×K GEMM on a flexible
+// fabric: each virtual neuron covers a K-slice of one output row, folded
+// when K exceeds the fabric.
+type GEMMTile struct {
+	KSlice int // dot-product elements per VN per fold
+	Folds  int
+	// TM and TN are the output rows and columns processed in parallel.
+	TM, TN          int
+	NumVNs          int
+	UsedMultipliers int
+}
+
+// PickGEMM chooses a GEMM tile: the widest K slice that fits, remaining
+// multipliers spent on parallel output columns (sharing the stationary
+// row), then rows.
+func PickGEMM(h *config.Hardware, m, n, k int) (GEMMTile, error) {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return GEMMTile{}, fmt.Errorf("mapper: non-positive GEMM dims %d×%d×%d", m, n, k)
+	}
+	t := GEMMTile{}
+	t.KSlice = min(k, h.MSSize)
+	t.Folds = ceilDiv(k, t.KSlice)
+	avail := h.MSSize / t.KSlice
+	t.TM = min(avail, m)
+	if t.TM < 1 {
+		t.TM = 1
+	}
+	avail /= t.TM
+	t.TN = min(avail, n)
+	if t.TN < 1 {
+		t.TN = 1
+	}
+	t.NumVNs = t.TM * t.TN
+	t.UsedMultipliers = t.NumVNs * t.KSlice
+	return t, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

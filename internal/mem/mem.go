@@ -1,0 +1,123 @@
+// Package mem models the memory hierarchy of Section IV-B: the on-chip
+// Global Buffer (GB) with configurable read/write port widths, and the
+// off-chip DRAM with double-buffered prefetching into the GB — the role
+// DRAMsim3 plays for the original tool, reduced to the first-order timing
+// behaviour the accelerator observes (bandwidth ceiling, row hit/miss
+// latency, prefetch overlap with compute).
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/comp"
+	"repro/internal/config"
+)
+
+// GlobalBuffer tracks capacity and access activity. Port bandwidth is
+// enforced by the distribution and reduction networks (they are the ports);
+// the GB accounts the SRAM accesses for the energy model and checks that
+// the working set of each tile fits.
+type GlobalBuffer struct {
+	sizeBytes    int
+	bytesPerElem int
+	counters     *comp.Counters
+}
+
+// NewGlobalBuffer builds a GB of the configured size.
+func NewGlobalBuffer(h *config.Hardware, c *comp.Counters) *GlobalBuffer {
+	return &GlobalBuffer{
+		sizeBytes:    h.GBSizeKB * 1024,
+		bytesPerElem: h.BytesPerElement,
+		counters:     c,
+	}
+}
+
+// CapacityElems returns how many elements fit in the buffer.
+func (g *GlobalBuffer) CapacityElems() int { return g.sizeBytes / g.bytesPerElem }
+
+// Read accounts n element reads.
+func (g *GlobalBuffer) Read(n int) { g.counters.Add("gb.reads", uint64(n)) }
+
+// Write accounts n element writes.
+func (g *GlobalBuffer) Write(n int) { g.counters.Add("gb.writes", uint64(n)) }
+
+// CheckTileFit reports an error when a tile working set exceeds the buffer
+// (weights + inputs + outputs for one tile iteration, double-buffered).
+func (g *GlobalBuffer) CheckTileFit(elems int) error {
+	need := 2 * elems * g.bytesPerElem // double buffering
+	if need > g.sizeBytes {
+		return fmt.Errorf("mem: tile working set %d B exceeds global buffer %d B", need, g.sizeBytes)
+	}
+	return nil
+}
+
+// DRAM models the off-chip memory modules with double-buffered prefetch:
+// while tile t computes, tile t+1's operands stream in. The accelerator
+// stalls only when a tile's compute time is shorter than its successor's
+// fetch time.
+type DRAM struct {
+	elemsPerCycle   float64 // aggregate deliverable elements per core cycle
+	rowElems        int
+	rowHit, rowMiss int
+	counters        *comp.Counters
+
+	// prefetchReady is the cycle at which the currently prefetching tile
+	// completes.
+	prefetchReady float64
+}
+
+// NewDRAM derives per-cycle element bandwidth from the configured modules
+// and clock.
+func NewDRAM(h *config.Hardware, c *comp.Counters) *DRAM {
+	bytesPerSec := h.DRAM.BandwidthGBs * 1e9 * float64(h.DRAM.Modules)
+	cyclesPerSec := h.ClockGHz * 1e9
+	bytesPerCycle := bytesPerSec / cyclesPerSec
+	return &DRAM{
+		elemsPerCycle: bytesPerCycle / float64(h.BytesPerElement),
+		rowElems:      h.DRAM.RowBytes / h.BytesPerElement,
+		rowHit:        h.DRAM.RowHitLatency,
+		rowMiss:       h.DRAM.RowMissLatency,
+		counters:      c,
+	}
+}
+
+// FetchCycles returns the cycles needed to stream n elements, including the
+// amortized row activations of the banked model.
+func (d *DRAM) FetchCycles(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	stream := float64(n) / d.elemsPerCycle
+	rows := 1 + n/d.rowElems
+	overhead := float64(rows*d.rowMiss) * 0.1 // banking hides most activations
+	d.counters.Add("dram.reads", uint64(n))
+	d.counters.Add("dram.row_activations", uint64(rows))
+	return stream + overhead
+}
+
+// BeginPrefetch records that a tile of n elements starts streaming at
+// cycle `now`; it returns nothing — StallCycles later reports how long the
+// consumer must wait for it.
+func (d *DRAM) BeginPrefetch(now float64, n int) {
+	start := now
+	if d.prefetchReady > start {
+		start = d.prefetchReady
+	}
+	d.prefetchReady = start + d.FetchCycles(n)
+}
+
+// StallCycles reports how many cycles past `now` the in-flight prefetch
+// still needs — zero when double buffering fully hid the transfer.
+func (d *DRAM) StallCycles(now float64) float64 {
+	if d.prefetchReady <= now {
+		return 0
+	}
+	d.counters.Add("dram.stall_events", 1)
+	return d.prefetchReady - now
+}
+
+// WriteBack accounts n output elements leaving for DRAM; writes are
+// buffered and overlap compute, so they cost bandwidth but no stall.
+func (d *DRAM) WriteBack(n int) {
+	d.counters.Add("dram.writes", uint64(n))
+}

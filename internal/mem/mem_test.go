@@ -1,0 +1,90 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/comp"
+	"repro/internal/config"
+)
+
+func testHW() *config.Hardware {
+	h := config.MAERILike(128, 64)
+	return &h
+}
+
+func TestGlobalBufferAccounting(t *testing.T) {
+	c := comp.NewCounters()
+	gb := NewGlobalBuffer(testHW(), c)
+	gb.Read(10)
+	gb.Write(3)
+	if c.Get("gb.reads") != 10 || c.Get("gb.writes") != 3 {
+		t.Errorf("counters %v", c.Snapshot())
+	}
+	if gb.CapacityElems() != 108*1024 { // 108 KB at 1 B/elem (FP8)
+		t.Errorf("capacity %d", gb.CapacityElems())
+	}
+}
+
+func TestCheckTileFit(t *testing.T) {
+	c := comp.NewCounters()
+	gb := NewGlobalBuffer(testHW(), c)
+	if err := gb.CheckTileFit(1000); err != nil {
+		t.Errorf("small tile rejected: %v", err)
+	}
+	if err := gb.CheckTileFit(200 * 1024); err == nil {
+		t.Error("oversize tile accepted")
+	}
+}
+
+func TestDRAMFetchCycles(t *testing.T) {
+	c := comp.NewCounters()
+	d := NewDRAM(testHW(), c)
+	// 2 modules × 256 GB/s at 1 GHz and 1 B/elem = 512 elements/cycle.
+	cy := d.FetchCycles(512 * 100)
+	if cy < 100 || cy > 250 {
+		t.Errorf("fetch cycles %v for 51200 elems", cy)
+	}
+	if d.FetchCycles(0) != 0 {
+		t.Error("zero fetch nonzero")
+	}
+	if c.Get("dram.reads") != 51200 {
+		t.Errorf("dram.reads %d", c.Get("dram.reads"))
+	}
+}
+
+func TestDoubleBufferingHidesPrefetch(t *testing.T) {
+	c := comp.NewCounters()
+	d := NewDRAM(testHW(), c)
+	// Prefetch launched at cycle 0; by cycle 10000 it is long done.
+	d.BeginPrefetch(0, 1000)
+	if s := d.StallCycles(10000); s != 0 {
+		t.Errorf("hidden prefetch stalls %v", s)
+	}
+	// A prefetch probed immediately still needs time.
+	d.BeginPrefetch(10000, 512*1000)
+	if s := d.StallCycles(10001); s <= 0 {
+		t.Error("immediate probe shows no stall for a huge transfer")
+	}
+}
+
+func TestPrefetchQueueing(t *testing.T) {
+	c := comp.NewCounters()
+	d := NewDRAM(testHW(), c)
+	// Two overlapping prefetches serialize on the channel.
+	d.BeginPrefetch(0, 512*100) // ~100+ cycles
+	first := d.StallCycles(0)
+	d.BeginPrefetch(0, 512*100)
+	second := d.StallCycles(0)
+	if second <= first {
+		t.Errorf("queued prefetch not serialized: %v then %v", first, second)
+	}
+}
+
+func TestWriteBack(t *testing.T) {
+	c := comp.NewCounters()
+	d := NewDRAM(testHW(), c)
+	d.WriteBack(77)
+	if c.Get("dram.writes") != 77 {
+		t.Errorf("writes %d", c.Get("dram.writes"))
+	}
+}

@@ -1,0 +1,244 @@
+package mn
+
+import (
+	"testing"
+
+	"repro/internal/comp"
+)
+
+func newTestArray(t *testing.T, n int) (*Array, *comp.Counters) {
+	t.Helper()
+	c := comp.NewCounters()
+	return NewArray(n, 4, true, c), c
+}
+
+func TestConfigureVNs(t *testing.T) {
+	a, _ := newTestArray(t, 8)
+	if err := a.ConfigureVNs([][]int{{0, 1, 2}, {3, 4, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ConfigureVNs([][]int{{0, 1}, {1, 2}}); err == nil {
+		t.Error("overlapping VNs accepted")
+	}
+	if err := a.ConfigureVNs([][]int{{0, 99}}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+func TestMultiplyFlow(t *testing.T) {
+	a, c := newTestArray(t, 4)
+	if err := a.ConfigureVNs([][]int{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Load stationary weights, then stream one input per switch.
+	a.Deliver(0, comp.Packet{Value: 2, Kind: comp.WeightPkt})
+	a.Deliver(1, comp.Packet{Value: 3, Kind: comp.WeightPkt})
+	a.Deliver(0, comp.Packet{Value: 10, Kind: comp.InputPkt, Seq: 0})
+	a.Deliver(1, comp.Packet{Value: 10, Kind: comp.InputPkt, Seq: 0})
+	a.Cycle()
+	if !a.ReadyVN(0, 0, 2) {
+		t.Fatal("VN not ready after multiply")
+	}
+	values, _ := a.PopVN(0, 0)
+	if len(values) != 2 || values[0] != 20 || values[1] != 30 {
+		t.Errorf("products %v", values)
+	}
+	if c.Get("mn.mults") != 2 {
+		t.Errorf("mults = %d", c.Get("mn.mults"))
+	}
+	if !a.Idle() {
+		t.Error("array not idle after pop")
+	}
+}
+
+func TestInputWithoutStationaryStalls(t *testing.T) {
+	a, c := newTestArray(t, 2)
+	a.Deliver(0, comp.Packet{Value: 5, Kind: comp.InputPkt, Seq: 0})
+	a.Cycle()
+	if c.Get("mn.mults") != 0 {
+		t.Error("multiplied without stationary operand")
+	}
+	a.Deliver(0, comp.Packet{Value: 4, Kind: comp.WeightPkt})
+	a.Cycle()
+	if c.Get("mn.mults") != 1 {
+		t.Error("did not multiply once weight arrived")
+	}
+}
+
+func TestFIFOBackpressure(t *testing.T) {
+	a, _ := newTestArray(t, 1)
+	a.Deliver(0, comp.Packet{Value: 1, Kind: comp.WeightPkt})
+	for i := 0; i < 4; i++ {
+		if !a.Deliver(0, comp.Packet{Value: 1, Kind: comp.InputPkt, Seq: i}) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if a.Deliver(0, comp.Packet{Value: 1, Kind: comp.InputPkt, Seq: 4}) {
+		t.Error("push above FIFO capacity accepted")
+	}
+	if a.CanDeliver(0, comp.Packet{Kind: comp.InputPkt}) {
+		t.Error("CanDeliver true on full FIFO")
+	}
+}
+
+func TestPsumLatchLimitsRunAhead(t *testing.T) {
+	a, _ := newTestArray(t, 1)
+	a.ConfigureVNs([][]int{{0}})
+	a.Deliver(0, comp.Packet{Value: 1, Kind: comp.WeightPkt})
+	for i := 0; i < 4; i++ {
+		a.Deliver(0, comp.Packet{Value: float32(i), Kind: comp.InputPkt, Seq: i})
+	}
+	a.Cycle()
+	a.Cycle()
+	a.Cycle() // latch depth 2: the third multiply must stall
+	if got := a.FIFOOccupancy(); got != 2 {
+		t.Errorf("FIFO occupancy %d, want 2 (stalled on full latch)", got)
+	}
+	a.PopVN(0, 0)
+	a.Cycle()
+	if got := a.FIFOOccupancy(); got != 1 {
+		t.Errorf("occupancy after drain %d, want 1", got)
+	}
+}
+
+func TestGenerationShadowSwap(t *testing.T) {
+	a, c := newTestArray(t, 1)
+	a.ConfigureVNs([][]int{{0}})
+	// Round 1 stationary in the shadow, then its input promotes it.
+	a.Deliver(0, comp.Packet{Value: 3, Kind: comp.WeightPkt, Gen: 1})
+	a.Deliver(0, comp.Packet{Value: 2, Kind: comp.InputPkt, Seq: 0, Gen: 1})
+	a.Cycle()
+	v, _ := a.PopVN(0, 0)
+	if len(v) != 1 || v[0] != 6 {
+		t.Fatalf("gen-1 product %v", v)
+	}
+	// Round 2 shadow can load while round 1 was still computing.
+	a.Deliver(0, comp.Packet{Value: 10, Kind: comp.WeightPkt, Gen: 2})
+	a.Deliver(0, comp.Packet{Value: 5, Kind: comp.InputPkt, Seq: 1, Gen: 2})
+	a.Cycle()
+	v, _ = a.PopVN(0, 1)
+	if len(v) != 1 || v[0] != 50 {
+		t.Fatalf("gen-2 product %v", v)
+	}
+	if c.Get("mn.mults") != 2 {
+		t.Errorf("mults %d", c.Get("mn.mults"))
+	}
+}
+
+func TestShadowOverwriteRules(t *testing.T) {
+	a, _ := newTestArray(t, 1)
+	// Unconsumed shadow + empty FIFO: overwrite allowed (the round had no
+	// inputs for this switch).
+	a.Deliver(0, comp.Packet{Value: 1, Kind: comp.WeightPkt, Gen: 1})
+	if !a.CanDeliver(0, comp.Packet{Kind: comp.WeightPkt, Gen: 2}) {
+		t.Error("safe shadow overwrite rejected")
+	}
+	if !a.Deliver(0, comp.Packet{Value: 2, Kind: comp.WeightPkt, Gen: 2}) {
+		t.Error("safe shadow overwrite failed")
+	}
+	// Unconsumed shadow + queued input: overwrite must be rejected.
+	a.Deliver(0, comp.Packet{Value: 7, Kind: comp.InputPkt, Seq: 0, Gen: 2})
+	if a.CanDeliver(0, comp.Packet{Kind: comp.WeightPkt, Gen: 3}) {
+		t.Error("unsafe shadow overwrite allowed by CanDeliver")
+	}
+	if a.Deliver(0, comp.Packet{Value: 3, Kind: comp.WeightPkt, Gen: 3}) {
+		t.Error("unsafe shadow overwrite accepted by Deliver")
+	}
+}
+
+func TestInputStallsUntilItsGeneration(t *testing.T) {
+	a, c := newTestArray(t, 1)
+	a.ConfigureVNs([][]int{{0}})
+	// Input of gen 1 arrives before its weight: must stall.
+	a.Deliver(0, comp.Packet{Value: 2, Kind: comp.InputPkt, Seq: 0, Gen: 1})
+	a.Cycle()
+	if c.Get("mn.mults") != 0 {
+		t.Fatal("multiplied before the generation's stationary arrived")
+	}
+	a.Deliver(0, comp.Packet{Value: 4, Kind: comp.WeightPkt, Gen: 1})
+	a.Cycle()
+	if c.Get("mn.mults") != 1 {
+		t.Error("stalled input never fired")
+	}
+	v, _ := a.PopVN(0, 0)
+	if v[0] != 8 {
+		t.Errorf("product %v", v)
+	}
+}
+
+func TestForward(t *testing.T) {
+	a, c := newTestArray(t, 2)
+	a.ConfigureVNs([][]int{{0}, {1}})
+	a.Deliver(0, comp.Packet{Value: 1, Kind: comp.WeightPkt})
+	a.Deliver(1, comp.Packet{Value: 1, Kind: comp.WeightPkt})
+	if a.Forward(0, 1) {
+		t.Error("forward before source saw any input")
+	}
+	a.Deliver(0, comp.Packet{Value: 9, Kind: comp.InputPkt, Seq: 0})
+	a.Cycle()
+	if !a.Forward(0, 1) {
+		t.Fatal("forward failed")
+	}
+	a.Cycle()
+	v, _ := a.PopVN(1, 0)
+	if len(v) != 1 || v[0] != 9 {
+		t.Errorf("forwarded product %v", v)
+	}
+	if c.Get("mn.forwards") != 1 {
+		t.Errorf("forwards %d", c.Get("mn.forwards"))
+	}
+	// Disabled MN rejects forwarding.
+	d := NewArray(2, 4, false, comp.NewCounters())
+	if d.Forward(0, 1) {
+		t.Error("DMN forwarded")
+	}
+}
+
+func TestPopMembersMatchesSeqOnly(t *testing.T) {
+	a, _ := newTestArray(t, 2)
+	a.ConfigureVNs([][]int{{0, 1}})
+	a.Deliver(0, comp.Packet{Value: 1, Kind: comp.WeightPkt})
+	a.Deliver(1, comp.Packet{Value: 1, Kind: comp.WeightPkt})
+	// Switch 0 has steps 0 and 1; switch 1 only step 1.
+	a.Deliver(0, comp.Packet{Value: 10, Kind: comp.InputPkt, Seq: 0})
+	a.Deliver(0, comp.Packet{Value: 20, Kind: comp.InputPkt, Seq: 1})
+	a.Deliver(1, comp.Packet{Value: 30, Kind: comp.InputPkt, Seq: 1})
+	a.Cycle()
+	a.Cycle()
+	if !a.ReadyMembers([]int{0, 1}, 0, 1) {
+		t.Fatal("step 0 not ready with expect=1")
+	}
+	v, _ := a.PopMembers([]int{0, 1}, 0)
+	if len(v) != 1 || v[0] != 10 {
+		t.Fatalf("step 0 pop %v", v)
+	}
+	if !a.ReadyMembers([]int{0, 1}, 1, 2) {
+		t.Fatal("step 1 not ready")
+	}
+	v, _ = a.PopMembers([]int{0, 1}, 1)
+	if len(v) != 2 {
+		t.Fatalf("step 1 pop %v", v)
+	}
+}
+
+func TestQuiescentAndInvalidate(t *testing.T) {
+	a, _ := newTestArray(t, 2)
+	a.ConfigureVNs([][]int{{0}})
+	a.Deliver(0, comp.Packet{Value: 1, Kind: comp.WeightPkt})
+	a.Deliver(0, comp.Packet{Value: 2, Kind: comp.InputPkt, Seq: 0})
+	if a.QuiescentSet([]int{0}) {
+		t.Error("quiescent with queued input")
+	}
+	a.Cycle()
+	if a.QuiescentSet([]int{0}) {
+		t.Error("quiescent with latched psum")
+	}
+	a.PopVN(0, 0)
+	if !a.QuiescentSet([]int{0}) {
+		t.Error("not quiescent after drain")
+	}
+	a.InvalidateStationary([]int{0})
+	if a.StationaryLoaded([]int{0}) {
+		t.Error("stationary still loaded after invalidate")
+	}
+}

@@ -1,0 +1,262 @@
+// Package rn implements the reduction networks of Section IV-A.3: the
+// MAERI Augmented Reduction Tree (ART, 3:1 adders with horizontal links),
+// ART with an accumulation buffer (ART+ACC), the SIGMA Forwarding Adder
+// Network (FAN, 2:1 adders), and the Linear Reduction Network of rigid
+// designs. A reduction network turns per-step product sets of each virtual
+// neuron into outputs, pipelined, under a per-cycle output-port budget.
+package rn
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/comp"
+)
+
+// Job is one virtual neuron's product set for one step of computation.
+type Job struct {
+	VN  int
+	Seq int
+	// Values are the products entering the tree this cycle.
+	Values []float32
+	// OutIdx identifies the output element this (chain of) reduction(s)
+	// produces.
+	OutIdx int
+	// Last marks the final fold: after it the accumulated value leaves the
+	// network as an output.
+	Last bool
+}
+
+// Result is a completed output leaving the reduction network. Last is
+// propagated from the job so accumulator-less configurations can tell
+// final results from fold partials.
+type Result struct {
+	VN     int
+	OutIdx int
+	Value  float32
+	Last   bool
+}
+
+// Sink receives completed outputs (normally the Global Buffer write port);
+// it must always accept — the port budget is enforced by the network.
+type Sink func(r Result)
+
+// Network is the common behaviour of all reduction network types.
+type Network interface {
+	comp.Component
+	// Offer admits a job this cycle. It returns false when the input stage
+	// has no capacity left this cycle; the caller retries next cycle.
+	Offer(j Job) bool
+	// SetSink wires the output destination.
+	SetSink(s Sink)
+	// Drained reports no in-flight reductions or queued outputs.
+	Drained() bool
+	// Bandwidth returns the output elements/cycle budget.
+	Bandwidth() int
+}
+
+// Kind selects a reduction network implementation.
+type Kind int
+
+const (
+	// ART is the augmented reduction tree without accumulators: folded
+	// partial sums must round-trip through the output ports.
+	ART Kind = iota
+	// ARTAcc is ART with accumulation buffers at the outputs.
+	ARTAcc
+	// FAN is the SIGMA forwarding adder network (2:1 adders, accumulators).
+	FAN
+	// Linear is the serial accumulation chain of rigid accelerators.
+	Linear
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ART:
+		return "ART"
+	case ARTAcc:
+		return "ART+ACC"
+	case FAN:
+		return "FAN"
+	case Linear:
+		return "LRN"
+	default:
+		return fmt.Sprintf("rn.Kind(%d)", int(k))
+	}
+}
+
+type inflight struct {
+	job   Job
+	ready uint64 // cycle at which the reduced value pops out of the tree
+}
+
+// Net is the concrete implementation; behaviour differences between kinds
+// are latency, adder accounting and accumulator presence.
+type Net struct {
+	kind       Kind
+	name       string
+	size       int // total adder inputs per cycle == MS count
+	outBW      int
+	hasAcc     bool
+	sink       Sink
+	counters   *comp.Counters
+	cycleCount uint64
+
+	inflight   []inflight
+	acc        map[int]float32 // OutIdx -> running partial (ARTAcc/FAN)
+	outQ       []Result
+	inUsedThis int // adder inputs consumed in the current cycle
+}
+
+// New builds a reduction network of the given kind over `size` inputs with
+// an output bandwidth of outBW elements/cycle.
+func New(kind Kind, size, outBW int, c *comp.Counters) *Net {
+	return &Net{
+		kind:     kind,
+		name:     "rn." + kind.String(),
+		size:     size,
+		outBW:    outBW,
+		hasAcc:   kind == ARTAcc || kind == FAN,
+		counters: c,
+		acc:      make(map[int]float32),
+	}
+}
+
+// Name implements comp.Component.
+func (n *Net) Name() string { return n.name }
+
+// SetSink implements Network.
+func (n *Net) SetSink(s Sink) { n.sink = s }
+
+// Bandwidth implements Network.
+func (n *Net) Bandwidth() int { return n.outBW }
+
+// HasAccumulator reports whether folded partial sums stay inside the
+// network (ART+ACC, FAN) instead of round-tripping through the GB.
+func (n *Net) HasAccumulator() bool { return n.hasAcc }
+
+// CanAccept reports whether a job with the given input count would be
+// admitted this cycle, letting callers test before destructively popping
+// operands from the multiplier network.
+func (n *Net) CanAccept(inputs int) bool { return n.inUsedThis+inputs <= n.size }
+
+// Offer implements Network: a job occupies len(Values) tree inputs in the
+// current cycle; the spatial tree can ingest `size` inputs per cycle total.
+func (n *Net) Offer(j Job) bool {
+	need := len(j.Values)
+	if need == 0 {
+		return true
+	}
+	if n.inUsedThis+need > n.size {
+		n.counters.Add("rn.input_stalls", 1)
+		return false
+	}
+	n.inUsedThis += need
+	n.inflight = append(n.inflight, inflight{job: j, ready: n.cycleCount + uint64(n.latency(need))})
+	n.countAdders(need)
+	return true
+}
+
+func (n *Net) latency(inputs int) int {
+	switch n.kind {
+	case Linear:
+		// Serial chain: one hop per element.
+		if inputs < 1 {
+			return 1
+		}
+		return inputs
+	default:
+		// Pipelined tree: one level per cycle.
+		l := log2ceil(inputs)
+		if l < 1 {
+			l = 1
+		}
+		return l
+	}
+}
+
+func (n *Net) countAdders(inputs int) {
+	if inputs <= 1 {
+		return
+	}
+	switch n.kind {
+	case ART, ARTAcc:
+		// 3:1 adder switches: each absorbs up to two extra operands.
+		n.counters.Add("rn.adders_3to1", uint64(inputs/2))
+	case FAN:
+		// 2:1 adders with forwarding muxes: k-1 additions per reduction.
+		n.counters.Add("rn.adders_fan", uint64(inputs-1))
+	case Linear:
+		n.counters.Add("rn.adders_lrn", uint64(inputs-1))
+	}
+}
+
+// Cycle advances the pipeline: completed reductions either accumulate or
+// join the output queue, and up to outBW outputs leave through the ports.
+func (n *Net) Cycle() {
+	n.cycleCount++
+	n.inUsedThis = 0
+
+	// Retire reductions whose tree traversal completed. Retirement is
+	// in-order per output index: a short reduction (a partial last fold)
+	// must not overtake an earlier fold of the same output through the
+	// accumulator.
+	blocked := map[int]struct{}{}
+	kept := n.inflight[:0]
+	for _, f := range n.inflight {
+		if _, wait := blocked[f.job.OutIdx]; wait || f.ready > n.cycleCount {
+			blocked[f.job.OutIdx] = struct{}{}
+			kept = append(kept, f)
+			continue
+		}
+		sum := float32(0)
+		for _, v := range f.job.Values {
+			sum += v
+		}
+		if n.hasAcc {
+			n.counters.Add("rn.acc_accesses", 1)
+			n.acc[f.job.OutIdx] += sum
+			if f.job.Last {
+				n.outQ = append(n.outQ, Result{VN: f.job.VN, OutIdx: f.job.OutIdx, Value: n.acc[f.job.OutIdx], Last: true})
+				delete(n.acc, f.job.OutIdx)
+			}
+		} else {
+			// Without accumulators every fold's partial leaves through the
+			// output ports (and is re-read by the controller), so each
+			// fold occupies port bandwidth. The engine folds externally.
+			n.outQ = append(n.outQ, Result{VN: f.job.VN, OutIdx: f.job.OutIdx, Value: sum, Last: f.job.Last})
+		}
+	}
+	n.inflight = kept
+
+	// Drain output ports.
+	sent := 0
+	for sent < n.outBW && len(n.outQ) > 0 {
+		r := n.outQ[0]
+		n.outQ = n.outQ[1:]
+		n.sink(r)
+		sent++
+		n.counters.Add("rn.outputs", 1)
+	}
+	if sent > 0 {
+		n.counters.Add("rn.active_cycles", 1)
+	}
+	if len(n.outQ) > 0 {
+		n.counters.Add("rn.output_stalls", 1)
+	}
+}
+
+// Drained implements Network.
+func (n *Net) Drained() bool { return len(n.inflight) == 0 && len(n.outQ) == 0 }
+
+// PendingAccumulations reports OutIdx entries still held in the
+// accumulators (non-empty indicates a missing Last job — a controller bug
+// tests assert against).
+func (n *Net) PendingAccumulations() int { return len(n.acc) }
+
+func log2ceil(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}

@@ -1,0 +1,153 @@
+// Package stats is the simulator's Output Module (Section III): it collects
+// per-run performance numbers and activity counts, renders the JSON summary
+// and the customized counter file, and aggregates runs into full-model
+// totals.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Run holds the result of simulating one operation (one offloaded layer).
+type Run struct {
+	Accelerator string `json:"accelerator"`
+	Op          string `json:"op"`
+	Layer       string `json:"layer,omitempty"`
+
+	// M, N, K are the GEMM dims (per group for convolutions).
+	M int `json:"m"`
+	N int `json:"n"`
+	K int `json:"k"`
+
+	Cycles uint64 `json:"cycles"`
+	// MACs actually performed (differs from dense volume under sparsity or
+	// SNAPEA early termination).
+	MACs uint64 `json:"macs"`
+	// MemAccesses is GB reads + writes (the metric of Fig. 6d).
+	MemAccesses uint64 `json:"mem_accesses"`
+	// Utilization is average multiplier busy fraction in [0,1].
+	Utilization float64 `json:"utilization"`
+
+	Counters map[string]uint64 `json:"counters"`
+
+	// Energy in microjoules by component, filled in by the energy model.
+	Energy map[string]float64 `json:"energy_uj,omitempty"`
+	// AreaUM2 by component, filled in by the area model.
+	AreaUM2 map[string]float64 `json:"area_um2,omitempty"`
+}
+
+// TimeSeconds converts cycles at the given clock.
+func (r *Run) TimeSeconds(clockGHz float64) float64 {
+	return float64(r.Cycles) / (clockGHz * 1e9)
+}
+
+// TotalEnergy sums the per-component energy.
+func (r *Run) TotalEnergy() float64 {
+	var t float64
+	for _, v := range r.Energy {
+		t += v
+	}
+	return t
+}
+
+// WriteJSON emits the general summary file format.
+func (r *Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// CounterFile renders the customized counter-file format: one
+// component.event=count line per activity class, sorted.
+func (r *Run) CounterFile() string {
+	keys := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# STONNE counter file: %s %s %s\n", r.Accelerator, r.Op, r.Layer)
+	fmt.Fprintf(&b, "cycles=%d\n", r.Cycles)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, r.Counters[k])
+	}
+	return b.String()
+}
+
+// ModelRun aggregates the per-layer runs of a full-model inference.
+type ModelRun struct {
+	Accelerator string `json:"accelerator"`
+	Model       string `json:"model"`
+	Runs        []*Run `json:"runs"`
+}
+
+// TotalCycles sums cycles over all offloaded layers.
+func (m *ModelRun) TotalCycles() uint64 {
+	var t uint64
+	for _, r := range m.Runs {
+		t += r.Cycles
+	}
+	return t
+}
+
+// TotalMACs sums performed MACs.
+func (m *ModelRun) TotalMACs() uint64 {
+	var t uint64
+	for _, r := range m.Runs {
+		t += r.MACs
+	}
+	return t
+}
+
+// TotalMemAccesses sums GB accesses.
+func (m *ModelRun) TotalMemAccesses() uint64 {
+	var t uint64
+	for _, r := range m.Runs {
+		t += r.MemAccesses
+	}
+	return t
+}
+
+// EnergyBreakdown sums per-component energy over all layers (µJ).
+func (m *ModelRun) EnergyBreakdown() map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range m.Runs {
+		for k, v := range r.Energy {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// TotalEnergy sums all components (µJ).
+func (m *ModelRun) TotalEnergy() float64 {
+	var t float64
+	for _, v := range m.EnergyBreakdown() {
+		t += v
+	}
+	return t
+}
+
+// AvgUtilization is the MAC-weighted mean multiplier utilization.
+func (m *ModelRun) AvgUtilization() float64 {
+	var wsum, w float64
+	for _, r := range m.Runs {
+		wsum += r.Utilization * float64(r.Cycles)
+		w += float64(r.Cycles)
+	}
+	if w == 0 {
+		return 0
+	}
+	return wsum / w
+}
+
+// WriteJSON emits the aggregated summary.
+func (m *ModelRun) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

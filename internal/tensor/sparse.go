@@ -1,0 +1,176 @@
+package tensor
+
+import "fmt"
+
+// SparseFormat selects the encoding used by the sparse memory controller to
+// describe the non-zero structure of an operand (Section IV-B of the paper:
+// "supports both bitmap and CSR formats").
+type SparseFormat int
+
+const (
+	// Bitmap stores a dense bit per element plus the packed non-zero values.
+	Bitmap SparseFormat = iota
+	// CSR stores row pointers, column indices and packed values.
+	CSR
+)
+
+func (f SparseFormat) String() string {
+	switch f {
+	case Bitmap:
+		return "bitmap"
+	case CSR:
+		return "csr"
+	default:
+		return fmt.Sprintf("SparseFormat(%d)", int(f))
+	}
+}
+
+// CSRMatrix is a compressed-sparse-row matrix.
+type CSRMatrix struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Vals       []float32
+}
+
+// BitmapMatrix is a bitmap-encoded sparse matrix: one bit per element in
+// row-major order plus packed non-zero values.
+type BitmapMatrix struct {
+	Rows, Cols int
+	Bits       []uint64
+	Vals       []float32
+}
+
+// ToCSR converts a dense rank-2 tensor to CSR.
+func ToCSR(t *Tensor) (*CSRMatrix, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: ToCSR requires rank-2 tensor, got %v", t.shape)
+	}
+	rows, cols := t.Dim(0), t.Dim(1)
+	m := &CSRMatrix{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := t.data[i*cols+j]; v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				m.Vals = append(m.Vals, v)
+			}
+		}
+		m.RowPtr[i+1] = int32(len(m.Vals))
+	}
+	return m, nil
+}
+
+// ToBitmap converts a dense rank-2 tensor to bitmap encoding.
+func ToBitmap(t *Tensor) (*BitmapMatrix, error) {
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: ToBitmap requires rank-2 tensor, got %v", t.shape)
+	}
+	rows, cols := t.Dim(0), t.Dim(1)
+	m := &BitmapMatrix{Rows: rows, Cols: cols, Bits: make([]uint64, (rows*cols+63)/64)}
+	for i := 0; i < rows*cols; i++ {
+		if v := t.data[i]; v != 0 {
+			m.Bits[i/64] |= 1 << uint(i%64)
+			m.Vals = append(m.Vals, v)
+		}
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSRMatrix) NNZ() int { return len(m.Vals) }
+
+// NNZ returns the number of stored non-zeros.
+func (m *BitmapMatrix) NNZ() int { return len(m.Vals) }
+
+// RowNNZ returns the non-zero count of row i.
+func (m *CSRMatrix) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
+
+// Row returns the column indices and values of row i; the slices alias the
+// matrix storage.
+func (m *CSRMatrix) Row(i int) ([]int32, []float32) {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	return m.ColIdx[lo:hi], m.Vals[lo:hi]
+}
+
+// Dense expands the CSR matrix back to a dense tensor.
+func (m *CSRMatrix) Dense() *Tensor {
+	t := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		idx, vals := m.Row(i)
+		for p, j := range idx {
+			t.data[i*m.Cols+int(j)] = vals[p]
+		}
+	}
+	return t
+}
+
+// Bit reports whether element (i,j) is non-zero.
+func (m *BitmapMatrix) Bit(i, j int) bool {
+	p := i*m.Cols + j
+	return m.Bits[p/64]&(1<<uint(p%64)) != 0
+}
+
+// RowNNZ returns the non-zero count of row i.
+func (m *BitmapMatrix) RowNNZ(i int) int {
+	n := 0
+	for j := 0; j < m.Cols; j++ {
+		if m.Bit(i, j) {
+			n++
+		}
+	}
+	return n
+}
+
+// Dense expands the bitmap matrix back to a dense tensor.
+func (m *BitmapMatrix) Dense() *Tensor {
+	t := New(m.Rows, m.Cols)
+	p := 0
+	for i := 0; i < m.Rows*m.Cols; i++ {
+		if m.Bits[i/64]&(1<<uint(i%64)) != 0 {
+			t.data[i] = m.Vals[p]
+			p++
+		}
+	}
+	return t
+}
+
+// ToCSRView reinterprets the bitmap matrix as CSR without touching the
+// dense form; the sparse controller uses this when the user selects the CSR
+// front format.
+func (m *BitmapMatrix) ToCSRView() *CSRMatrix {
+	c := &CSRMatrix{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int32, m.Rows+1)}
+	p := 0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.Bit(i, j) {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Vals = append(c.Vals, m.Vals[p])
+				p++
+			}
+		}
+		c.RowPtr[i+1] = int32(len(c.Vals))
+	}
+	return c
+}
+
+// SpMM multiplies CSR A (M×K) by dense B (K×N), the functional reference for
+// the sparse controller.
+func SpMM(a *CSRMatrix, b *Tensor) (*Tensor, error) {
+	if b.Rank() != 2 || b.Dim(0) != a.Cols {
+		return nil, fmt.Errorf("tensor: SpMM dims mismatch: A is %dx%d, B is %v", a.Rows, a.Cols, b.shape)
+	}
+	n := b.Dim(1)
+	c := New(a.Rows, n)
+	for i := 0; i < a.Rows; i++ {
+		idx, vals := a.Row(i)
+		crow := c.data[i*n : (i+1)*n]
+		for p, k := range idx {
+			av := vals[p]
+			brow := b.data[int(k)*n : (int(k)+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sparseSample(r *quickRNG, rows, cols int, density float32) *Tensor {
+	t := New(rows, cols)
+	d := t.Data()
+	for i := range d {
+		if v := r.next(); v > 0 && v < density*4 { // roughly `density` fraction
+			d[i] = v
+		}
+	}
+	return t
+}
+
+// Property: dense → CSR → dense round-trips exactly.
+func TestCSRRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newQuickRNG(seed)
+		a := sparseSample(r, 7, 9, 0.3)
+		csr, err := ToCSR(a)
+		if err != nil {
+			return false
+		}
+		d, _ := MaxAbsDiff(csr.Dense(), a)
+		return d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dense → bitmap → dense round-trips exactly.
+func TestBitmapRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newQuickRNG(seed)
+		a := sparseSample(r, 9, 13, 0.25)
+		bm, err := ToBitmap(a)
+		if err != nil {
+			return false
+		}
+		d, _ := MaxAbsDiff(bm.Dense(), a)
+		return d == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the bitmap's CSR view equals the direct CSR conversion.
+func TestBitmapCSRViewEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newQuickRNG(seed)
+		a := sparseSample(r, 6, 11, 0.4)
+		bm, _ := ToBitmap(a)
+		direct, _ := ToCSR(a)
+		view := bm.ToCSRView()
+		if view.NNZ() != direct.NNZ() {
+			return false
+		}
+		for i := range view.Vals {
+			if view.Vals[i] != direct.Vals[i] || view.ColIdx[i] != direct.ColIdx[i] {
+				return false
+			}
+		}
+		for i := range view.RowPtr {
+			if view.RowPtr[i] != direct.RowPtr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SpMM over CSR equals dense MatMul.
+func TestSpMMMatchesMatMulProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newQuickRNG(seed)
+		a := sparseSample(r, 5, 8, 0.5)
+		b := randQuick(r, 8, 6)
+		csr, _ := ToCSR(a)
+		got, err := SpMM(csr, b)
+		if err != nil {
+			return false
+		}
+		want, _ := MatMul(a, b)
+		d, _ := MaxAbsDiff(got, want)
+		return d < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRRowAccess(t *testing.T) {
+	a, _ := FromSlice([]float32{0, 1, 0, 2, 0, 3}, 2, 3)
+	csr, _ := ToCSR(a)
+	if csr.RowNNZ(0) != 1 || csr.RowNNZ(1) != 2 {
+		t.Errorf("row nnz %d %d", csr.RowNNZ(0), csr.RowNNZ(1))
+	}
+	idx, vals := csr.Row(1)
+	if len(idx) != 2 || idx[0] != 0 || vals[1] != 3 {
+		t.Errorf("row 1: %v %v", idx, vals)
+	}
+}
+
+func TestBitmapBits(t *testing.T) {
+	a, _ := FromSlice([]float32{0, 5, 0, 0, 0, 7}, 2, 3)
+	bm, _ := ToBitmap(a)
+	if !bm.Bit(0, 1) || bm.Bit(0, 0) || !bm.Bit(1, 2) {
+		t.Error("bitmap bits wrong")
+	}
+	if bm.RowNNZ(0) != 1 || bm.RowNNZ(1) != 1 {
+		t.Error("bitmap row nnz wrong")
+	}
+	if bm.NNZ() != 2 {
+		t.Errorf("NNZ = %d", bm.NNZ())
+	}
+}
+
+func TestSparseRankErrors(t *testing.T) {
+	bad := New(2, 2, 2)
+	if _, err := ToCSR(bad); err == nil {
+		t.Error("rank-3 accepted by ToCSR")
+	}
+	if _, err := ToBitmap(bad); err == nil {
+		t.Error("rank-3 accepted by ToBitmap")
+	}
+	a := New(2, 3)
+	csr, _ := ToCSR(a)
+	if _, err := SpMM(csr, New(4, 2)); err == nil {
+		t.Error("SpMM dim mismatch accepted")
+	}
+}
+
+func TestIm2ColShapes(t *testing.T) {
+	cs := ConvShape{R: 2, S: 2, C: 2, G: 1, K: 1, N: 1, X: 3, Y: 3, Stride: 1}
+	in := New(1, 2, 3, 3)
+	for i, d := 0, in.Data(); i < len(d); i++ {
+		d[i] = float32(i)
+	}
+	cols, err := Im2Col(in, cs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Dim(0) != 8 || cols.Dim(1) != 4 {
+		t.Fatalf("im2col shape %v", cols.Shape())
+	}
+	// First column = window at (0,0): channel-major rows.
+	want := []float32{0, 1, 3, 4, 9, 10, 12, 13}
+	for r := 0; r < 8; r++ {
+		if cols.At(r, 0) != want[r] {
+			t.Errorf("col0[%d] = %v, want %v", r, cols.At(r, 0), want[r])
+		}
+	}
+	if _, err := Im2Col(in, cs, 1); err == nil {
+		t.Error("group out of range accepted")
+	}
+}
+
+func TestSparseFormatString(t *testing.T) {
+	if Bitmap.String() != "bitmap" || CSR.String() != "csr" {
+		t.Error("format strings wrong")
+	}
+}

@@ -1,0 +1,114 @@
+package stonne
+
+import (
+	"testing"
+)
+
+// TestSectionVFunctionalValidation is the paper's Section V validation at
+// repo scale: full Table I models run with every compute-intensive layer
+// simulated, and the final scores must match the native CPU execution on
+// all three use-case-1 architectures. The image classifiers run at 1/16
+// spatial scale; skipped under -short.
+func TestSectionVFunctionalValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	for _, tag := range []string{"M", "S", "A"} {
+		full, err := ModelByShort(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := ScaleSpatial(full, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := InitWeights(model, 0x5ec7)
+		if err := w.Prune(model.Sparsity); err != nil {
+			t.Fatal(err)
+		}
+		input := RandomInput(model, 0x11)
+		want, err := RunModelNative(model, w, input)
+		if err != nil {
+			t.Fatalf("%s native: %v", full.Name, err)
+		}
+		for _, hw := range []Hardware{TPULike(256), MAERILike(256, 128), SIGMALike(256, 128)} {
+			got, mr, err := RunModel(model, w, input, hw, nil)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", full.Name, hw.Name, err)
+			}
+			if d := maxRelDiff(got, want); d > 1e-3 {
+				t.Errorf("%s on %s: scores differ from native by %g", full.Name, hw.Name, d)
+			}
+			if got := len(mr.Runs); got != len(model.OffloadedLayers()) {
+				t.Errorf("%s on %s: %d runs for %d offloaded layers",
+					full.Name, hw.Name, got, len(model.OffloadedLayers()))
+			}
+		}
+	}
+}
+
+// TestSevenModelsRunOnSIGMA covers the remaining Table I models on the
+// sparse architecture (the most failure-prone path: real zero
+// distributions drive the cluster packing). Functional equivalence plus
+// per-layer accounting invariants.
+func TestSevenModelsRunOnSIGMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	hw := SIGMALike(256, 128)
+	for _, tag := range []string{"R", "V", "S-M", "B"} {
+		full, err := ModelByShort(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := ScaleSpatial(full, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag == "B" {
+			model = truncateBERT(t, model, 2)
+		}
+		w := InitWeights(model, 0x5ec8)
+		if err := w.Prune(model.Sparsity); err != nil {
+			t.Fatal(err)
+		}
+		input := RandomInput(model, 0x12)
+		want, err := RunModelNative(model, w, input)
+		if err != nil {
+			t.Fatalf("%s native: %v", full.Name, err)
+		}
+		got, mr, err := RunModel(model, w, input, hw, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", full.Name, err)
+		}
+		if d := maxRelDiff(got, want); d > 1e-3 {
+			t.Errorf("%s: scores differ by %g", full.Name, d)
+		}
+		for _, r := range mr.Runs {
+			if r.Cycles == 0 && r.MACs > 0 {
+				t.Errorf("%s/%s: %d MACs in zero cycles", full.Name, r.Layer, r.MACs)
+			}
+			if r.Utilization < 0 || r.Utilization > 1 {
+				t.Errorf("%s/%s: utilization %v out of range", full.Name, r.Layer, r.Utilization)
+			}
+		}
+	}
+}
+
+// truncateBERT keeps the first `encoders` encoder blocks plus the
+// classifier so the integration run stays fast while still exercising
+// every transformer layer kind.
+func truncateBERT(t *testing.T, m *Model, encoders int) *Model {
+	t.Helper()
+	const layersPerEncoder = 8
+	out := *m
+	keep := encoders * layersPerEncoder
+	if keep > len(m.Layers)-2 {
+		keep = len(m.Layers) - 2
+	}
+	out.Layers = append(append([]Layer{}, m.Layers[:keep]...), m.Layers[len(m.Layers)-2:]...)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}

@@ -1,0 +1,83 @@
+package stonne
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// Training support — the paper's stated ongoing work, exposed here: one
+// SGD step whose forward and backward matrix products all execute on the
+// simulated accelerator. SIGMA (one of the Table IV compositions) was
+// designed for exactly these sparse and irregular training GEMMs.
+
+// TrainResult is one training step's outcome plus the simulation record.
+type TrainResult struct {
+	Loss  float64
+	Grads map[string]*tensor.Tensor
+	Stats *ModelRun
+}
+
+// trainOffloader adapts an Instance to the trainer's GEMM seam.
+type trainOffloader struct {
+	inst *Instance
+}
+
+func (o *trainOffloader) RunTrainGEMM(a, b *tensor.Tensor, tag string) (*tensor.Tensor, error) {
+	var (
+		out *Tensor
+		run *Run
+		err error
+	)
+	if o.inst.hw.Ctrl.String() == "sparse" {
+		pol := NoScheduling
+		out, run, err = o.inst.acc.RunSpMM(a, b, tag, &pol)
+	} else {
+		out, run, err = o.inst.acc.RunGEMM(a, b, tag)
+	}
+	if err != nil {
+		return nil, err
+	}
+	o.inst.tab.Apply(run, &o.inst.hw)
+	o.inst.Runs = append(o.inst.Runs, run)
+	return out, nil
+}
+
+// RunTrainingStep executes one forward+backward pass for (input, label) on
+// the given hardware and returns the loss, the weight gradients and the
+// per-GEMM simulation statistics. Apply the gradients with ApplySGD.
+func RunTrainingStep(m *Model, w *Weights, input *Tensor, label int, hw Hardware) (*TrainResult, error) {
+	if hw.Ctrl.String() == "snapea" {
+		return nil, fmt.Errorf("stonne: the SNAPEA accelerator is inference-only (early termination is unsound for gradients)")
+	}
+	inst, err := CreateInstance(hw)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dnn.TrainStep(m, w, input, label, &trainOffloader{inst: inst})
+	if err != nil {
+		return nil, err
+	}
+	return &TrainResult{
+		Loss:  res.Loss,
+		Grads: res.Grads,
+		Stats: &stats.ModelRun{Accelerator: hw.Name, Model: m.Name, Runs: inst.Runs},
+	}, nil
+}
+
+// ApplySGD updates weights in place (w ← w − lr·g), preserving the pruned
+// zero mask.
+var ApplySGD = dnn.ApplySGD
+
+// Model-file front end (the Caffe-path analogue): models described in a
+// JSON file, weights in the binary .stnw format.
+var (
+	// LoadModelFile parses a JSON model description.
+	LoadModelFile = dnn.LoadModelFile
+	// LoadWeightsFile reads a binary weights file.
+	LoadWeightsFile = dnn.LoadWeightsFile
+	// CheckWeights verifies weights cover a model with matching shapes.
+	CheckWeights = dnn.CheckWeights
+)

@@ -1,0 +1,120 @@
+package stonne
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnn"
+)
+
+const trainNetJSON = `{
+  "name": "trainnet", "input_channels": 2, "input_size": 8,
+  "layers": [
+    {"type": "conv", "name": "c1", "filters": 4, "kernel": 3, "pad": 1},
+    {"type": "relu"},
+    {"type": "linear", "name": "fc", "out": 3},
+    {"type": "softmax"}
+  ]
+}`
+
+func trainFixture(t *testing.T) (*Model, *Weights, *Tensor) {
+	t.Helper()
+	m, err := dnn.ParseModel(strings.NewReader(trainNetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := InitWeights(m, 55)
+	return m, w, RandomInput(m, 56)
+}
+
+func TestRunTrainingStepOnAccelerators(t *testing.T) {
+	for _, hw := range []Hardware{MAERILike(64, 16), SIGMALike(64, 16), TPULike(64)} {
+		m, w, input := trainFixture(t)
+		// The simulated gradients must equal the native ones.
+		native, err := dnn.TrainStep(m, w, input, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunTrainingStep(m, w, input, 1, hw)
+		if err != nil {
+			t.Fatalf("%s: %v", hw.Name, err)
+		}
+		if d := res.Loss - native.Loss; d > 1e-3 || d < -1e-3 {
+			t.Errorf("%s: loss %v vs native %v", hw.Name, res.Loss, native.Loss)
+		}
+		for name, g := range native.Grads {
+			sim := res.Grads[name]
+			if sim == nil {
+				t.Fatalf("%s: gradient %s missing", hw.Name, name)
+			}
+			for i, v := range g.Data() {
+				diff := float64(sim.Data()[i] - v)
+				if diff > 1e-2 || diff < -1e-2 {
+					t.Fatalf("%s: grad %s[%d] = %v vs native %v", hw.Name, name, i, sim.Data()[i], v)
+				}
+			}
+		}
+		// Forward + dW + dX per weighted layer → 6 simulated GEMMs.
+		if len(res.Stats.Runs) != 6 {
+			t.Errorf("%s: %d simulated GEMMs, want 6", hw.Name, len(res.Stats.Runs))
+		}
+		if res.Stats.TotalCycles() == 0 {
+			t.Errorf("%s: zero cycles", hw.Name)
+		}
+	}
+}
+
+func TestTrainingLossConvergesOnSimulator(t *testing.T) {
+	m, w, input := trainFixture(t)
+	hw := MAERILike(64, 32)
+	first, err := RunTrainingStep(m, w, input, 2, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		res, err := RunTrainingStep(m, w, input, 2, hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ApplySGD(w, res.Grads, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last, err := RunTrainingStep(m, w, input, 2, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Loss >= first.Loss {
+		t.Errorf("loss did not converge: %.4f -> %.4f", first.Loss, last.Loss)
+	}
+}
+
+func TestTrainingRejectsSNAPEA(t *testing.T) {
+	m, w, input := trainFixture(t)
+	if _, err := RunTrainingStep(m, w, input, 0, SNAPEALike(64, 64)); err == nil {
+		t.Error("SNAPEA accepted for training")
+	}
+}
+
+func TestTilesOption(t *testing.T) {
+	m, w, input := trainFixture(t)
+	want, err := RunModelNative(m, w, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An explicit (valid) tile for c1: 3×3×1 window slice, one VN.
+	tiles := map[string]Tile{
+		"c1": {TR: 3, TS: 3, TC: 1, TG: 1, TK: 1, TN: 1, TXp: 1, TYp: 2,
+			VNSize: 9, NumVNs: 2, Folds: 2, UsedMultipliers: 18},
+	}
+	got, mr, err := RunModel(m, w, input, MAERILike(64, 16), &RunOptions{Tiles: tiles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxRelDiff(got, want); d > 1e-3 {
+		t.Errorf("tiled run differs from native by %g", d)
+	}
+	if mr.TotalCycles() == 0 {
+		t.Error("no cycles")
+	}
+}

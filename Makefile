@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the parallel runtime paths: the simpool itself, the
+# public API, and the serial-vs-parallel equivalence test in exp.
+race:
+	$(GO) test -race ./internal/simpool/... ./stonne/...
+	$(GO) test -race -run 'TestFig5SerialParallelEquivalence' ./internal/exp/
+
+bench:
+	$(GO) test -run=XXX -bench=. -benchtime=1x .
+	$(GO) test -run=XXX -bench='BenchmarkCounters' ./internal/comp/

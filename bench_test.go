@@ -9,7 +9,10 @@
 package repro
 
 import (
+	"context"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/dnn"
@@ -77,6 +80,30 @@ func BenchmarkFig5AccelComparison(b *testing.B) {
 		}
 		b.ReportMetric(float64(agg["TPU-like"])/float64(agg["MAERI-like"]), "maeri-vs-tpu-x")
 		b.ReportMetric(float64(agg["MAERI-like"])/float64(agg["SIGMA-like"]), "sigma-vs-maeri-x")
+	}
+}
+
+// BenchmarkFig5Parallel times the same use-case-1 comparison fanned over
+// the simpool at GOMAXPROCS workers and reports the wall-clock speedup
+// against a serial (workers=1) run measured in the same invocation. On a
+// single-core host both paths take the same time (speedup ≈ 1); the
+// parallel win appears with ≥4 cores.
+func BenchmarkFig5Parallel(b *testing.B) {
+	ctx := context.Background()
+	tags := []string{"M", "S", "A"}
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := exp.Fig5Par(ctx, 1, benchScale, tags); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0)
+		t0 = time.Now()
+		if _, err := exp.Fig5Par(ctx, 0, benchScale, tags); err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(t0)
+		b.ReportMetric(serial.Seconds()/par.Seconds(), "speedup-vs-serial")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	}
 }
 

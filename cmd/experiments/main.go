@@ -12,9 +12,11 @@
 //	            1 reproduces the full-resolution workloads (slow)
 //	-models M,S machine tags to run (fig5/fig9; default: all seven)
 //	-images N   input samples per model for fig6 (default 2)
+//	-workers N  parallel simulation jobs (0 = GOMAXPROCS, 1 = serial)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ func main() {
 	scale := fs.Int("scale", 8, "spatial scale divisor for model workloads (1 = full resolution)")
 	modelsFlag := fs.String("models", "", "comma-separated model tags (M,S,A,R,V,S-M,B); empty = all")
 	images := fs.Int("images", 2, "input samples per model (fig6)")
+	workers := fs.Int("workers", 0, "parallel simulation jobs (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -42,29 +45,30 @@ func main() {
 	if *modelsFlag != "" {
 		tags = strings.Split(*modelsFlag, ",")
 	}
+	ctx := context.Background()
 
 	run := func(name string) error {
 		switch name {
 		case "tablei":
 			return tableI()
 		case "tablev":
-			return tableV()
+			return tableV(ctx, *workers)
 		case "fig1a":
-			return fig1("Figure 1a — OS systolic array, STONNE vs analytical", func() ([]exp.Fig1Row, error) { return exp.Fig1a(*scale) })
+			return fig1("Figure 1a — OS systolic array, STONNE vs analytical", func() ([]exp.Fig1Row, error) { return exp.Fig1aPar(ctx, *workers, *scale) })
 		case "fig1b":
-			return fig1("Figure 1b — 128-mult MAERI, bandwidth sweep", func() ([]exp.Fig1Row, error) { return exp.Fig1b(*scale) })
+			return fig1("Figure 1b — 128-mult MAERI, bandwidth sweep", func() ([]exp.Fig1Row, error) { return exp.Fig1bPar(ctx, *workers, *scale) })
 		case "fig1c":
-			return fig1("Figure 1c — 128-mult SIGMA, sparsity sweep", func() ([]exp.Fig1Row, error) { return exp.Fig1c(*scale) })
+			return fig1("Figure 1c — 128-mult SIGMA, sparsity sweep", func() ([]exp.Fig1Row, error) { return exp.Fig1cPar(ctx, *workers, *scale) })
 		case "fig5":
-			return fig5(*scale, tags)
+			return fig5(ctx, *workers, *scale, tags)
 		case "fig6":
-			return fig6(*scale, *images)
+			return fig6(ctx, *workers, *scale, *images)
 		case "fig7":
-			return fig7(*scale)
+			return fig7(ctx, *workers, *scale)
 		case "fig9":
-			return fig9(*scale, tags)
+			return fig9(ctx, *workers, *scale, tags)
 		case "fig9c":
-			return fig9c(*scale)
+			return fig9c(ctx, *workers, *scale)
 		default:
 			usage()
 			return fmt.Errorf("unknown experiment %q", name)
@@ -86,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|all> [-scale N] [-models tags] [-images N]")
+	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|all> [-scale N] [-models tags] [-images N] [-workers N]")
 }
 
 func tableI() error {
@@ -100,9 +104,9 @@ func tableI() error {
 	return nil
 }
 
-func tableV() error {
+func tableV(ctx context.Context, workers int) error {
 	fmt.Println("== Table V — timing validation vs published RTL cycle counts ==")
-	rows, avg, err := exp.TableVRun()
+	rows, avg, err := exp.TableVRunPar(ctx, workers)
 	if err != nil {
 		return err
 	}
@@ -130,9 +134,9 @@ func fig1(title string, f func() ([]exp.Fig1Row, error)) error {
 	return nil
 }
 
-func fig5(scale int, tags []string) error {
+func fig5(ctx context.Context, workers, scale int, tags []string) error {
 	fmt.Println("== Figure 5 — TPU vs MAERI vs SIGMA: full-model cycles, energy, area ==")
-	rows, err := exp.Fig5(scale, tags)
+	rows, err := exp.Fig5Par(ctx, workers, scale, tags)
 	if err != nil {
 		return err
 	}
@@ -181,9 +185,9 @@ func breakdownPct(br map[string]float64, total float64) string {
 	return strings.Join(parts, " ")
 }
 
-func fig6(scale, images int) error {
+func fig6(ctx context.Context, workers, scale, images int) error {
 	fmt.Println("== Figure 6 — SNAPEA vs baseline on four CNNs ==")
-	rows, err := exp.Fig6(scale, images)
+	rows, err := exp.Fig6Par(ctx, workers, scale, images)
 	if err != nil {
 		return err
 	}
@@ -202,9 +206,9 @@ func fig6(scale, images int) error {
 	return nil
 }
 
-func fig7(scale int) error {
+func fig7(ctx context.Context, workers, scale int) error {
 	fmt.Println("== Figure 7 — filter mapping on a 256-MS sparse fabric ==")
-	a, b, err := exp.Fig7(scale)
+	a, b, err := exp.Fig7Par(ctx, workers, scale)
 	if err != nil {
 		return err
 	}
@@ -225,9 +229,9 @@ func fig7(scale int) error {
 	return nil
 }
 
-func fig9(scale int, tags []string) error {
+func fig9(ctx context.Context, workers, scale int, tags []string) error {
 	fmt.Println("== Figure 9a/9b — filter scheduling (NS / RDM / LFF) ==")
-	rows, err := exp.Fig9(scale, tags)
+	rows, err := exp.Fig9Par(ctx, workers, scale, tags)
 	if err != nil {
 		return err
 	}
@@ -248,9 +252,9 @@ func fig9(scale int, tags []string) error {
 	return nil
 }
 
-func fig9c(scale int) error {
+func fig9c(ctx context.Context, workers, scale int) error {
 	fmt.Println("== Figure 9c — Resnets-50 per-layer LFF sensitivity ==")
-	rows, err := exp.Fig9c(scale)
+	rows, err := exp.Fig9cPar(ctx, workers, scale)
 	if err != nil {
 		return err
 	}

@@ -10,14 +10,17 @@
 //	stonne conv -arch tpu -ms 256 -R 3 -S 3 -C 64 -K 64 -X 56 -Y 56
 //	stonne spmm -arch sigma -ms 256 -bw 128 -M 128 -N 128 -K 512 -sparsity 0.8 -policy LFF
 //	stonne gemm -hw my_hw.cfg -M 32 -N 32 -K 64 -json out.json -counters out.counters
+//	stonne gemm -arch maeri -M 64 -N 64 -K 256 -batch 8 -workers 0
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/dnn"
+	"repro/internal/simpool"
 	"repro/stonne"
 )
 
@@ -56,6 +59,8 @@ func main() {
 	label := fs.Int("label", 0, "target class for the train subcommand")
 	lr := fs.Float64("lr", 0.01, "SGD learning rate for the train subcommand")
 	steps := fs.Int("steps", 1, "SGD steps for the train subcommand")
+	batch := fs.Int("batch", 1, "independent runs with seeds seed..seed+batch-1 (gemm/spmm/conv)")
+	workers := fs.Int("workers", 0, "parallel simulation jobs for -batch (0 = GOMAXPROCS, 1 = serial)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -66,12 +71,75 @@ func main() {
 	}
 	hw.Preloaded = true // user-interface mode runs from preloaded buffers
 
-	inst, err := stonne.CreateInstance(hw)
+	switch op {
+	case "gemm", "spmm", "conv":
+	case "model":
+		runModelCmd(hw, *modelFile, *weightsFile, *saveWeights, *policy, *seed)
+		return
+	case "train":
+		runTrainCmd(hw, *modelFile, *weightsFile, *saveWeights, *label, *lr, *steps, *seed)
+		return
+	default:
+		usage()
+		os.Exit(2)
+	}
+
+	p := opParams{
+		M: *mDim, N: *nDim, K: *kDim,
+		R: *rDim, S: *sDim, C: *cDim, G: *gDim, Kf: *kFil,
+		X: *xDim, Y: *yDim, Stride: *stride, Pad: *pad,
+		Sparsity: *sparsity, Policy: *policy,
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+	seeds := make([]uint64, *batch)
+	for i := range seeds {
+		seeds[i] = *seed + uint64(i)
+	}
+	runs, err := simpool.Map(context.Background(), *workers, seeds,
+		func(_ context.Context, _ int, sd uint64) (*stonne.Run, error) {
+			return runOp(hw, op, p, sd)
+		})
 	if err != nil {
 		fatal(err)
 	}
+	for i, run := range runs {
+		if *batch > 1 {
+			fmt.Printf("== run %d (seed %d) ==\n", i, seeds[i])
+		}
+		printRun(run)
+		if *jsonOut != "" {
+			if err := writeJSON(run, batchPath(*jsonOut, i, *batch)); err != nil {
+				fatal(err)
+			}
+		}
+		if *counterOut != "" {
+			if err := os.WriteFile(batchPath(*counterOut, i, *batch), []byte(run.CounterFile()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
 
-	rng := dnn.NewRNG(*seed)
+// opParams carries the operation shape so batched runs can rebuild their
+// tensors independently from per-run seeds.
+type opParams struct {
+	M, N, K              int
+	R, S, C, G, Kf, X, Y int
+	Stride, Pad          int
+	Sparsity             float64
+	Policy               string
+}
+
+// runOp simulates one gemm/spmm/conv with tensors derived from seed. Each
+// call builds its own simulator instance, so batched runs share nothing.
+func runOp(hw stonne.Hardware, op string, p opParams, seed uint64) (*stonne.Run, error) {
+	inst, err := stonne.CreateInstance(hw)
+	if err != nil {
+		return nil, err
+	}
+	rng := dnn.NewRNG(seed)
 	randTensor := func(shape ...int) *stonne.Tensor {
 		t := stonne.NewTensor(shape...)
 		for i, d := 0, t.Data(); i < len(d); i++ {
@@ -79,30 +147,29 @@ func main() {
 		}
 		return t
 	}
-
 	var run *stonne.Run
 	switch op {
 	case "gemm":
 		inst.ConfigureDMM()
-		inst.ConfigureData(randTensor(*mDim, *kDim), randTensor(*kDim, *nDim))
+		inst.ConfigureData(randTensor(p.M, p.K), randTensor(p.K, p.N))
 		_, run, err = inst.RunOperation()
 	case "spmm":
-		pol, perr := parsePolicy(*policy)
+		pol, perr := parsePolicy(p.Policy)
 		if perr != nil {
-			fatal(perr)
+			return nil, perr
 		}
 		inst.ConfigureSpMM(pol)
-		A := randTensor(*mDim, *kDim)
-		pruneTo(A, *sparsity)
-		inst.ConfigureData(A, randTensor(*kDim, *nDim))
+		A := randTensor(p.M, p.K)
+		pruneTo(A, p.Sparsity)
+		inst.ConfigureData(A, randTensor(p.K, p.N))
 		_, run, err = inst.RunOperation()
 	case "conv":
 		cs := stonne.ConvShape{
-			R: *rDim, S: *sDim, C: *cDim, G: *gDim, K: *kFil, N: 1,
-			X: *xDim, Y: *yDim, Stride: *stride, Padding: *pad,
+			R: p.R, S: p.S, C: p.C, G: p.G, K: p.Kf, N: 1,
+			X: p.X, Y: p.Y, Stride: p.Stride, Padding: p.Pad,
 		}
 		if cerr := inst.ConfigureCONV(cs); cerr != nil {
-			fatal(cerr)
+			return nil, cerr
 		}
 		w := randTensor(cs.K, cs.C/cs.G, cs.R, cs.S)
 		in := stonne.NewTensor(1, cs.C, cs.X, cs.Y)
@@ -115,20 +182,14 @@ func main() {
 		}
 		inst.ConfigureData(w, in)
 		_, run, err = inst.RunOperation()
-	case "model":
-		runModelCmd(hw, *modelFile, *weightsFile, *saveWeights, *policy, *seed)
-		return
-	case "train":
-		runTrainCmd(hw, *modelFile, *weightsFile, *saveWeights, *label, *lr, *steps, *seed)
-		return
-	default:
-		usage()
-		os.Exit(2)
 	}
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
+	return run, nil
+}
 
+func printRun(run *stonne.Run) {
 	fmt.Printf("accelerator : %s\n", run.Accelerator)
 	fmt.Printf("operation   : %s (M=%d N=%d K=%d)\n", run.Op, run.M, run.N, run.K)
 	fmt.Printf("cycles      : %d\n", run.Cycles)
@@ -142,22 +203,24 @@ func main() {
 			fmt.Printf("  %-4s %10.4f µJ\n", comp, v)
 		}
 	}
+}
 
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := run.WriteJSON(f); err != nil {
-			fatal(err)
-		}
+// batchPath suffixes an output path with the run index when batching, so
+// -batch 1 keeps the exact path the user asked for.
+func batchPath(path string, i, batch int) string {
+	if batch == 1 {
+		return path
 	}
-	if *counterOut != "" {
-		if err := os.WriteFile(*counterOut, []byte(run.CounterFile()), 0o644); err != nil {
-			fatal(err)
-		}
+	return fmt.Sprintf("%s.%d", path, i)
+}
+
+func writeJSON(run *stonne.Run, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	defer f.Close()
+	return run.WriteJSON(f)
 }
 
 func pickHW(file, arch string, ms, bw int) (stonne.Hardware, error) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Component is any hardware module that advances one clock cycle at a time.
@@ -19,28 +20,125 @@ type Component interface {
 	Cycle()
 }
 
+// Counter names are interned once into a process-wide registry so every
+// Counters instance can store its values in a flat slice indexed by the
+// interned id. The registry only grows (ids are never reused); after the
+// first simulation has registered the vocabulary, lookups take a read lock
+// and the per-cycle hot path takes no lock at all — it holds pre-resolved
+// handles.
+var registry = struct {
+	sync.RWMutex
+	ids   map[string]int
+	names []string
+}{ids: make(map[string]int)}
+
+// counterID interns name, returning its stable id.
+func counterID(name string) int {
+	registry.RLock()
+	id, ok := registry.ids[name]
+	registry.RUnlock()
+	if ok {
+		return id
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if id, ok := registry.ids[name]; ok {
+		return id
+	}
+	id = len(registry.names)
+	registry.ids[name] = id
+	registry.names = append(registry.names, name)
+	return id
+}
+
+// counterNames returns the first n interned names. The returned slice is
+// safe to read without the lock: entries are immutable once published and
+// append reallocation leaves old backing arrays intact.
+func counterNames(n int) []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	return registry.names[:n:n]
+}
+
 // Counters accumulates named activity counts ("mn.mults",
 // "dn.link_traversals", "gb.reads", ...). The energy model multiplies each
 // count by a per-event cost table, exactly as STONNE's counter file +
 // Accelergy-style script does.
+//
+// Values live in a flat slice indexed by the interned counter id; the
+// string-keyed methods resolve names on every call and exist for cold paths
+// (construction, snapshots, tests). Per-cycle call sites pre-resolve a
+// Counter handle once and use Counter.Add, which is a bare slice update.
+// A Counters instance is not safe for concurrent use — each engine run owns
+// a private instance (what makes whole runs embarrassingly parallel).
 type Counters struct {
-	m map[string]uint64
+	vals    []uint64
+	touched []bool
 }
 
-// NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+// Counter is a handle to one named counter of one Counters instance,
+// pre-resolved so the per-cycle increment does no string hashing.
+type Counter struct {
+	c  *Counters
+	id int32
+}
 
-// Add increments counter key by n.
-func (c *Counters) Add(key string, n uint64) { c.m[key] += n }
+// Add increments the counter by n. Adding zero still marks the counter as
+// present in snapshots, matching the map semantics of the string API.
+func (h Counter) Add(n uint64) {
+	h.c.vals[h.id] += n
+	h.c.touched[h.id] = true
+}
+
+// Value returns the counter's current value.
+func (h Counter) Value() uint64 { return h.c.vals[h.id] }
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{} }
+
+// ensure grows the value storage to cover id.
+func (c *Counters) ensure(id int) {
+	if id < len(c.vals) {
+		return
+	}
+	vals := make([]uint64, id+1)
+	copy(vals, c.vals)
+	c.vals = vals
+	touched := make([]bool, id+1)
+	copy(touched, c.touched)
+	c.touched = touched
+}
+
+// Counter resolves (interning if needed) a handle for the named counter.
+// Resolve once at component construction; call Add on the hot path.
+func (c *Counters) Counter(name string) Counter {
+	id := counterID(name)
+	c.ensure(id)
+	return Counter{c: c, id: int32(id)}
+}
+
+// Add increments counter key by n (string-keyed cold path).
+func (c *Counters) Add(key string, n uint64) { c.Counter(key).Add(n) }
 
 // Get returns the current value of key (0 if never touched).
-func (c *Counters) Get(key string) uint64 { return c.m[key] }
+func (c *Counters) Get(key string) uint64 {
+	registry.RLock()
+	id, ok := registry.ids[key]
+	registry.RUnlock()
+	if !ok || id >= len(c.vals) {
+		return 0
+	}
+	return c.vals[id]
+}
 
 // Keys returns all counter names in sorted order.
 func (c *Counters) Keys() []string {
-	keys := make([]string, 0, len(c.m))
-	for k := range c.m {
-		keys = append(keys, k)
+	names := counterNames(len(c.vals))
+	keys := make([]string, 0, len(c.vals))
+	for id, t := range c.touched {
+		if t {
+			keys = append(keys, names[id])
+		}
 	}
 	sort.Strings(keys)
 	return keys
@@ -48,26 +146,40 @@ func (c *Counters) Keys() []string {
 
 // Snapshot returns a copy of the counter map.
 func (c *Counters) Snapshot() map[string]uint64 {
-	out := make(map[string]uint64, len(c.m))
-	for k, v := range c.m {
-		out[k] = v
+	names := counterNames(len(c.vals))
+	out := make(map[string]uint64, len(c.vals))
+	for id, t := range c.touched {
+		if t {
+			out[names[id]] = c.vals[id]
+		}
 	}
 	return out
 }
 
 // Merge adds every counter of other into c.
 func (c *Counters) Merge(other *Counters) {
-	for k, v := range other.m {
-		c.m[k] += v
+	for id, t := range other.touched {
+		if !t {
+			continue
+		}
+		c.ensure(id)
+		c.vals[id] += other.vals[id]
+		c.touched[id] = true
 	}
 }
 
 // String renders the counters one per line in the customized counter-file
 // format of the output module.
 func (c *Counters) String() string {
+	snap := c.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var b strings.Builder
-	for _, k := range c.Keys() {
-		fmt.Fprintf(&b, "%s=%d\n", k, c.m[k])
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d\n", k, snap[k])
 	}
 	return b.String()
 }

@@ -1,0 +1,122 @@
+package comp
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// The handle API and the string API must be two views of the same
+// counters: a handle Add is visible through Get/Snapshot, and a string
+// Add is visible through the handle's Value.
+func TestCounterHandleStringInterop(t *testing.T) {
+	c := NewCounters()
+	h := c.Counter("interop.x")
+	h.Add(7)
+	if got := c.Get("interop.x"); got != 7 {
+		t.Errorf("string Get after handle Add = %d, want 7", got)
+	}
+	c.Add("interop.x", 5)
+	if got := h.Value(); got != 12 {
+		t.Errorf("handle Value after string Add = %d, want 12", got)
+	}
+	// Re-resolving the same name yields the same underlying slot.
+	h2 := c.Counter("interop.x")
+	h2.Add(1)
+	if h.Value() != 13 {
+		t.Errorf("second handle hit a different slot: %d", h.Value())
+	}
+}
+
+// Resolving a handle (or Add with n=0) creates the key, matching the old
+// map semantics where Add always materialized an entry.
+func TestCounterHandleZeroCreatesKey(t *testing.T) {
+	c := NewCounters()
+	h := c.Counter("zero.created")
+	h.Add(0)
+	snap := c.Snapshot()
+	if v, ok := snap["zero.created"]; !ok || v != 0 {
+		t.Errorf("Add(0) did not materialize the key: %v", snap)
+	}
+	// A name registered process-wide by another instance must not leak
+	// into this instance's snapshot.
+	other := NewCounters()
+	other.Add("zero.other-instance", 1)
+	if _, ok := c.Snapshot()["zero.other-instance"]; ok {
+		t.Error("registry name leaked into an instance that never touched it")
+	}
+}
+
+func TestCountersMergeHandles(t *testing.T) {
+	a := NewCounters()
+	b := NewCounters()
+	a.Counter("m.one").Add(3)
+	b.Counter("m.one").Add(4)
+	b.Counter("m.two").Add(9)
+	b.Add("m.zero", 0)
+	a.Merge(b)
+	want := map[string]uint64{"m.one": 7, "m.two": 9, "m.zero": 0}
+	got := map[string]uint64{}
+	for k, v := range a.Snapshot() {
+		if _, ok := want[k]; ok {
+			got[k] = v
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge = %v, want %v", got, want)
+	}
+	// Merge must not mutate the source.
+	if b.Get("m.one") != 4 {
+		t.Errorf("merge mutated source: %d", b.Get("m.one"))
+	}
+}
+
+// Keys and the rendered String are sorted regardless of the order handles
+// were resolved or touched in.
+func TestCountersSnapshotOrdering(t *testing.T) {
+	c := NewCounters()
+	for _, name := range []string{"ord.c", "ord.a", "ord.b"} {
+		c.Counter(name).Add(1)
+	}
+	keys := c.Keys()
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("Keys not sorted: %v", keys)
+	}
+	snap := c.Snapshot()
+	if len(snap) != len(keys) {
+		t.Errorf("snapshot has %d entries, keys %d", len(snap), len(keys))
+	}
+	for _, k := range keys {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("key %q missing from snapshot", k)
+		}
+	}
+}
+
+// BenchmarkCountersString is the old per-cycle hot path: every Add pays a
+// name-to-slot resolution.
+func BenchmarkCountersString(b *testing.B) {
+	c := NewCounters()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add("bench.mults", 8)
+		c.Add("bench.active", 1)
+		c.Add("bench.forwards", 3)
+	}
+}
+
+// BenchmarkCountersHandle is the new per-cycle hot path: handles resolved
+// once at construction, bare slice updates per cycle.
+func BenchmarkCountersHandle(b *testing.B) {
+	c := NewCounters()
+	mults := c.Counter("bench.mults")
+	active := c.Counter("bench.active")
+	fwds := c.Counter("bench.forwards")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mults.Add(8)
+		active.Add(1)
+		fwds.Add(3)
+	}
+}

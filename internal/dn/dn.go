@@ -65,7 +65,23 @@ type base struct {
 	sink      Sink
 	probe     Prober
 	queue     []Delivery
+	head      int // consumed prefix of queue (head-indexed pop)
 	counters  *comp.Counters
+
+	// Pre-resolved counter handles shared by all DN kinds (per-cycle path).
+	cStalls, cInjections, cActive comp.Counter
+}
+
+func newBase(name string, leaves, bandwidth int, c *comp.Counters) base {
+	return base{
+		name:        name,
+		leaves:      leaves,
+		bandwidth:   bandwidth,
+		counters:    c,
+		cStalls:     c.Counter("dn.stall_cycles"),
+		cInjections: c.Counter("dn.injections"),
+		cActive:     c.Counter("dn.active_cycles"),
+	}
 }
 
 func (b *base) Name() string { return b.name }
@@ -73,16 +89,30 @@ func (b *base) Offer(d Delivery) bool {
 	if len(d.Dests) == 0 {
 		return true // nothing to deliver
 	}
-	if len(b.queue) >= queueCap {
+	if b.qlen() >= queueCap {
 		return false
 	}
 	b.queue = append(b.queue, d)
 	return true
 }
-func (b *base) Pending() int       { return len(b.queue) }
+func (b *base) Pending() int       { return b.qlen() }
 func (b *base) SetSink(s Sink)     { b.sink = s }
 func (b *base) SetProber(p Prober) { b.probe = p }
 func (b *base) Bandwidth() int     { return b.bandwidth }
+
+func (b *base) qlen() int { return len(b.queue) - b.head }
+
+// qpop removes the head delivery without giving up the queue's backing
+// array; the zeroed slot releases the Dests slice for the collector.
+func (b *base) qpop() {
+	b.queue[b.head] = Delivery{}
+	b.head++
+	if b.head > 64 && b.head*2 >= len(b.queue) {
+		n := copy(b.queue, b.queue[b.head:])
+		b.queue = b.queue[:n]
+		b.head = 0
+	}
+}
 
 func (b *base) deliverAll(d Delivery) bool {
 	// All-or-nothing multicast: probe every destination first, then
@@ -108,6 +138,8 @@ func (b *base) deliverAll(d Delivery) bool {
 // unique values (GB read ports feeding the tree roots).
 type Tree struct {
 	base
+	cLinkTrav comp.Counter
+	cForwards comp.Counter
 	// stamp marks tree nodes visited during the current Steiner-edge
 	// count (generation-tagged to avoid clearing between deliveries —
 	// this count runs once per delivered value).
@@ -119,8 +151,10 @@ type Tree struct {
 // per-cycle unique-value bandwidth.
 func NewTree(leaves, bandwidth int, c *comp.Counters) *Tree {
 	return &Tree{
-		base:  base{name: "dn.tree", leaves: leaves, bandwidth: bandwidth, counters: c},
-		stamp: make([]uint32, 2*leaves),
+		base:      newBase("dn.tree", leaves, bandwidth, c),
+		cLinkTrav: c.Counter("dn.link_traversals"),
+		cForwards: c.Counter("mn.forwards"),
+		stamp:     make([]uint32, 2*leaves),
 	}
 }
 
@@ -133,23 +167,23 @@ func NewTree(leaves, bandwidth int, c *comp.Counters) *Tree {
 // sliding-window forwarding at the validation tile.)
 func (t *Tree) Cycle() {
 	n := 0
-	for n < t.bandwidth && len(t.queue) > 0 {
-		d := t.queue[0]
+	for n < t.bandwidth && t.qlen() > 0 {
+		d := t.queue[t.head]
 		if !t.deliverAll(d) {
-			t.counters.Add("dn.stall_cycles", 1)
+			t.cStalls.Add(1)
 			break // head-of-line blocking until the MN drains
 		}
-		t.queue = t.queue[1:]
+		t.qpop()
 		n++
 		if d.Forward {
-			t.counters.Add("mn.forwards", uint64(len(d.Dests)))
+			t.cForwards.Add(uint64(len(d.Dests)))
 			continue
 		}
-		t.counters.Add("dn.injections", 1)
-		t.counters.Add("dn.link_traversals", uint64(t.steinerEdges(d.Dests)))
+		t.cInjections.Add(1)
+		t.cLinkTrav.Add(uint64(t.steinerEdges(d.Dests)))
 	}
 	if n > 0 {
-		t.counters.Add("dn.active_cycles", 1)
+		t.cActive.Add(1)
 	}
 }
 
@@ -190,15 +224,17 @@ func (t *Tree) steinerEdges(dests []int) int {
 // non-blocking, so any set of disjoint paths proceeds in one cycle.
 type Benes struct {
 	base
-	levels  int
-	partial int // destinations of the head delivery already served
+	cSwitchTrav comp.Counter
+	levels      int
+	partial     int // destinations of the head delivery already served
 }
 
 // NewBenes builds a Benes DN over `leaves` destinations.
 func NewBenes(leaves, bandwidth int, c *comp.Counters) *Benes {
 	return &Benes{
-		base:   base{name: "dn.benes", leaves: leaves, bandwidth: bandwidth, counters: c},
-		levels: 2*log2ceil(leaves) + 1,
+		base:        newBase("dn.benes", leaves, bandwidth, c),
+		cSwitchTrav: c.Counter("dn.switch_traversals"),
+		levels:      2*log2ceil(leaves) + 1,
 	}
 }
 
@@ -206,21 +242,21 @@ func NewBenes(leaves, bandwidth int, c *comp.Counters) *Benes {
 // fan-out across cycles.
 func (b *Benes) Cycle() {
 	n := 0
-	for n < b.bandwidth && len(b.queue) > 0 {
-		d := b.queue[0]
+	for n < b.bandwidth && b.qlen() > 0 {
+		d := b.queue[b.head]
 		for b.partial < len(d.Dests) && n < b.bandwidth {
 			ms := d.Dests[b.partial]
 			if b.probe != nil && !b.probe(ms, d.Pkt) {
-				b.counters.Add("dn.stall_cycles", 1)
+				b.cStalls.Add(1)
 				if n > 0 {
-					b.counters.Add("dn.active_cycles", 1)
+					b.cActive.Add(1)
 				}
 				return
 			}
 			if !b.sink(ms, d.Pkt) {
-				b.counters.Add("dn.stall_cycles", 1)
+				b.cStalls.Add(1)
 				if n > 0 {
-					b.counters.Add("dn.active_cycles", 1)
+					b.cActive.Add(1)
 				}
 				return
 			}
@@ -236,16 +272,16 @@ func (b *Benes) Cycle() {
 			}
 			b.partial++
 			n++
-			b.counters.Add("dn.injections", 1)
-			b.counters.Add("dn.switch_traversals", uint64(hops))
+			b.cInjections.Add(1)
+			b.cSwitchTrav.Add(uint64(hops))
 		}
 		if b.partial == len(d.Dests) {
-			b.queue = b.queue[1:]
+			b.qpop()
 			b.partial = 0
 		}
 	}
 	if n > 0 {
-		b.counters.Add("dn.active_cycles", 1)
+		b.cActive.Add(1)
 	}
 }
 
@@ -254,41 +290,45 @@ func (b *Benes) Cycle() {
 // interconnects.
 type PointToPoint struct {
 	base
-	partial int // how many dests of the head delivery already went out
+	cLinkTrav comp.Counter
+	partial   int // how many dests of the head delivery already went out
 }
 
 // NewPointToPoint builds the unicast DN.
 func NewPointToPoint(leaves, bandwidth int, c *comp.Counters) *PointToPoint {
-	return &PointToPoint{base: base{name: "dn.popn", leaves: leaves, bandwidth: bandwidth, counters: c}}
+	return &PointToPoint{
+		base:      newBase("dn.popn", leaves, bandwidth, c),
+		cLinkTrav: c.Counter("dn.link_traversals"),
+	}
 }
 
 // Cycle sends up to bandwidth unicasts, splitting multicast deliveries into
 // one unicast per destination.
 func (p *PointToPoint) Cycle() {
 	n := 0
-	for n < p.bandwidth && len(p.queue) > 0 {
-		d := p.queue[0]
+	for n < p.bandwidth && p.qlen() > 0 {
+		d := p.queue[p.head]
 		for p.partial < len(d.Dests) && n < p.bandwidth {
 			ms := d.Dests[p.partial]
 			if !p.sink(ms, d.Pkt) {
-				p.counters.Add("dn.stall_cycles", 1)
+				p.cStalls.Add(1)
 				if n > 0 {
-					p.counters.Add("dn.active_cycles", 1)
+					p.cActive.Add(1)
 				}
 				return
 			}
 			p.partial++
 			n++
-			p.counters.Add("dn.injections", 1)
-			p.counters.Add("dn.link_traversals", 1)
+			p.cInjections.Add(1)
+			p.cLinkTrav.Add(1)
 		}
 		if p.partial == len(d.Dests) {
-			p.queue = p.queue[1:]
+			p.qpop()
 			p.partial = 0
 		}
 	}
 	if n > 0 {
-		p.counters.Add("dn.active_cycles", 1)
+		p.cActive.Add(1)
 	}
 }
 

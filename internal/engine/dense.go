@@ -70,6 +70,13 @@ type flexRun struct {
 	// destination; tree/systolic fabrics read a multicast value once.
 	readsPerDest bool
 
+	// valBuf is the reusable product-pop scratch: the RN folds offered
+	// values before returning, so one buffer serves every job every cycle.
+	valBuf []float32
+
+	// Pre-resolved controller counter handles (per-cycle path).
+	cReloadWait, cDramWait comp.Counter
+
 	fatal error
 
 	out []float32
@@ -100,13 +107,15 @@ func newFlexRun(ctx *runCtx, numVNs int, outLen, expected int) (*flexRun, error)
 		rkind = rn.Linear
 	}
 	f := &flexRun{
-		runCtx:   ctx,
-		dnet:     dnet,
-		marr:     mn.NewArray(hw.MSSize, hw.FIFODepth, hw.MN == config.LinearMN, ctx.counters),
-		rnet:     rn.New(rkind, hw.MSSize, hw.RNBandwidth, ctx.counters),
-		pending:  make([][]jobSpec, numVNs),
-		out:      make([]float32, outLen),
-		expected: expected,
+		runCtx:      ctx,
+		dnet:        dnet,
+		marr:        mn.NewArray(hw.MSSize, hw.FIFODepth, hw.MN == config.LinearMN, ctx.counters),
+		rnet:        rn.New(rkind, hw.MSSize, hw.RNBandwidth, ctx.counters),
+		pending:     make([][]jobSpec, numVNs),
+		out:         make([]float32, outLen),
+		expected:    expected,
+		cReloadWait: ctx.counters.Counter("ctrl.reload_wait_cycles"),
+		cDramWait:   ctx.counters.Counter("ctrl.dram_wait_cycles"),
 	}
 	f.readsPerDest = hw.DN == config.BenesDN
 	f.dnet.SetSink(f.marr.Deliver)
@@ -164,14 +173,17 @@ func (f *flexRun) ctrlCycle() {
 		if !ready || !f.rnet.CanAccept(j.expect) {
 			continue
 		}
-		var values []float32
-		if j.members != nil {
-			values, _ = f.marr.PopMembers(j.members, j.seq)
-		} else {
-			values, _ = f.marr.PopVN(vn, j.seq)
+		members := j.members
+		if members == nil {
+			members = f.marr.VNs()[vn]
 		}
-		f.rnet.Offer(rn.Job{VN: vn, Seq: j.seq, Values: values, OutIdx: j.outIdx, Last: j.last})
-		f.pending[vn] = q[1:]
+		// The RN folds Values before Offer returns, so the scratch buffer is
+		// free to reuse for the next VN in the same cycle.
+		f.valBuf, _ = f.marr.AppendPop(f.valBuf[:0], members, j.seq)
+		f.rnet.Offer(rn.Job{VN: vn, Seq: j.seq, Values: f.valBuf, OutIdx: j.outIdx, Last: j.last})
+		// Copy-down pop keeps the per-VN queue's backing array.
+		nq := copy(q, q[1:])
+		f.pending[vn] = q[:nq]
 		f.pendingJobs--
 	}
 
@@ -189,15 +201,15 @@ func (f *flexRun) ctrlCycle() {
 		}
 		if f.cur.barrier && !f.issued {
 			if f.dnet.Pending() > 0 || !f.marr.QuiescentSet(f.cur.reloadSet) {
-				f.counters.Add("ctrl.reload_wait_cycles", 1)
+				f.cReloadWait.Add(1)
 				return
 			}
 			if f.cur.reconfig != nil && (f.pendingJobs > 0 || !f.marr.Idle()) {
-				f.counters.Add("ctrl.reload_wait_cycles", 1)
+				f.cReloadWait.Add(1)
 				return
 			}
 			if stall := f.dram.StallCycles(float64(f.cycles)); stall > 0 {
-				f.counters.Add("ctrl.dram_wait_cycles", 1)
+				f.cDramWait.Add(1)
 				return
 			}
 			if f.cur.reconfig != nil {
@@ -491,10 +503,3 @@ func (a *Accelerator) flexDenseGEMMWS(A, B *tensor.Tensor, layer string) (*tenso
 }
 
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

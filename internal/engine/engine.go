@@ -134,9 +134,9 @@ func (r *runCtx) initialFill(elems int) {
 	if r.hw.Preloaded {
 		return
 	}
-	cap := r.gb.CapacityElems() / 2 // double-buffered halves
-	if elems > cap {
-		elems = cap
+	half := r.gb.CapacityElems() / 2 // double-buffered halves
+	if elems > half {
+		elems = half
 	}
 	fill := uint64(r.dram.FetchCycles(elems))
 	r.cycles += fill

@@ -27,6 +27,10 @@ type sigmaCluster struct {
 	msBase int
 	ks     []int32   // k index per member switch
 	vals   []float32 // stationary value per member switch
+	// members is the switch-index set [msBase, msBase+len(ks)), built once
+	// at round construction; jobSpecs share it read-only, so streaming a
+	// column allocates nothing.
+	members []int
 }
 
 // sigmaRound precomputes, per distinct k in the round, the member switches
@@ -49,6 +53,9 @@ type sigmaSource struct {
 	phase int // 0 = stationary load, 1 = stream columns
 	col   int
 	seq   int
+
+	// expect is the reusable per-cluster participation counter scratch.
+	expect []int
 
 	exhausted bool
 }
@@ -74,8 +81,10 @@ func buildSigmaRounds(A *tensor.CSRMatrix, capacity int, policy sched.Policy, se
 				ks:     idx[chunk.Start : chunk.Start+chunk.Len],
 				vals:   vals[chunk.Start : chunk.Start+chunk.Len],
 			}
+			cl.members = make([]int, len(cl.ks))
 			for p, k := range cl.ks {
 				ms := base + p
+				cl.members[p] = ms
 				if _, seen := sr.kDests[k]; !seen {
 					sr.kOrder = append(sr.kOrder, k)
 				}
@@ -123,7 +132,13 @@ func (s *sigmaSource) next() (workItem, bool) {
 	seq := s.seq
 	s.seq++
 	j := s.col
-	expect := make([]int, len(r.clusters))
+	if cap(s.expect) < len(r.clusters) {
+		s.expect = make([]int, len(r.clusters))
+	}
+	expect := s.expect[:len(r.clusters)]
+	for i := range expect {
+		expect[i] = 0
+	}
 	bd := s.B.Data()
 	for _, k := range r.kOrder {
 		bv := bd[int(k)*s.n+j]
@@ -143,15 +158,11 @@ func (s *sigmaSource) next() (workItem, bool) {
 		if expect[ci] == 0 {
 			continue // entire chunk hit zeros in this column
 		}
-		members := make([]int, len(cl.ks))
-		for p := range cl.ks {
-			members[p] = cl.msBase + p
-		}
 		item.jobs = append(item.jobs, jobSpec{
 			vn: ci, seq: seq, expect: expect[ci],
 			outIdx:  cl.row*s.n + j,
 			last:    true, // each contribution exits and accumulates GB-side
-			members: members,
+			members: cl.members,
 		})
 	}
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/comp"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -26,6 +27,11 @@ type systolicArray struct {
 	p          int
 	a, b, acc  []float32
 	aNxt, bNxt []float32
+
+	// Pre-resolved counter handles: injections run per edge element per
+	// cycle, the rest once per tile.
+	cLinkTrav, cInjections           comp.Counter
+	cMults, cAdders, cFwds, cOutputs comp.Counter
 }
 
 func newSystolicArray(ctx *runCtx) (*systolicArray, error) {
@@ -43,6 +49,12 @@ func newSystolicArray(ctx *runCtx) (*systolicArray, error) {
 		p:      p,
 		a:      make([]float32, n), b: make([]float32, n), acc: make([]float32, n),
 		aNxt: make([]float32, n), bNxt: make([]float32, n),
+		cLinkTrav:   ctx.counters.Counter("dn.link_traversals"),
+		cInjections: ctx.counters.Counter("dn.injections"),
+		cMults:      ctx.counters.Counter("mn.mults"),
+		cAdders:     ctx.counters.Counter("rn.adders_lrn"),
+		cFwds:       ctx.counters.Counter("mn.forwards"),
+		cOutputs:    ctx.counters.Counter("rn.outputs"),
 	}, nil
 }
 
@@ -70,8 +82,8 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 					if kk >= 0 && kk < kw && mi < m {
 						v = ad[mi*k+k0+kk]
 						s.gb.Read(1)
-						s.counters.Add("dn.link_traversals", 1)
-						s.counters.Add("dn.injections", 1)
+						s.cLinkTrav.Add(1)
+						s.cInjections.Add(1)
 					}
 					s.aNxt[idx] = v
 				}
@@ -84,8 +96,8 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 					if kk >= 0 && kk < kw && nj < n {
 						v = bd[(k0+kk)*n+nj]
 						s.gb.Read(1)
-						s.counters.Add("dn.link_traversals", 1)
-						s.counters.Add("dn.injections", 1)
+						s.cLinkTrav.Add(1)
+						s.cInjections.Add(1)
 					}
 					s.bNxt[idx] = v
 				}
@@ -116,9 +128,9 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 		}
 	}
 	s.cycles += uint64(streamLen + systolicDrainCycles)
-	s.counters.Add("mn.mults", mults)
-	s.counters.Add("rn.adders_lrn", mults) // in-place accumulation chain (LRN)
-	s.counters.Add("mn.forwards", fwds)
+	s.cMults.Add(mults)
+	s.cAdders.Add(mults) // in-place accumulation chain (LRN)
+	s.cFwds.Add(fwds)
 
 	// Drain valid outputs into C.
 	for i := 0; i < p; i++ {
@@ -133,7 +145,7 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 			}
 			C[mi*n+nj] += s.acc[i*p+j]
 			s.gb.Write(1)
-			s.counters.Add("rn.outputs", 1)
+			s.cOutputs.Add(1)
 		}
 	}
 }

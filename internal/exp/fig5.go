@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
 	"repro/internal/dnn"
 	"repro/internal/energy"
+	"repro/internal/simpool"
 	"repro/internal/stats"
 	"repro/stonne"
 )
@@ -28,6 +30,10 @@ type Fig5Row struct {
 
 	AreaUM2   map[string]float64
 	TotalArea float64
+
+	// Counters is the full-model aggregate counter snapshot — what the
+	// serial-vs-parallel equivalence tests pin bit-for-bit.
+	Counters map[string]uint64
 }
 
 // fig5Arches are the use-case-1 systems: 256 multipliers/adders, 128
@@ -45,44 +51,73 @@ func fig5Arches() []config.Hardware {
 // seven of Table I) on the three architectures at the given spatial scale
 // and returns one row per (model, architecture).
 func Fig5(scale int, tags []string) ([]Fig5Row, error) {
+	return Fig5Par(context.Background(), 1, scale, tags)
+}
+
+// fig5Job is one simulation unit: one model on one architecture. Each job
+// rebuilds its model, weights and input from fixed seeds, so jobs share no
+// mutable state and any worker count produces identical rows.
+type fig5Job struct {
+	tag string
+	hw  config.Hardware
+}
+
+// Fig5Par is Fig5 fanned over a simpool: one job per (model, architecture),
+// results in the serial row order regardless of completion order.
+// workers <= 0 uses GOMAXPROCS; workers == 1 is exactly the serial loop.
+func Fig5Par(ctx context.Context, workers, scale int, tags []string) ([]Fig5Row, error) {
 	if tags == nil {
 		tags = []string{"M", "S", "A", "R", "V", "S-M", "B"}
 	}
-	var rows []Fig5Row
+	var jobs []fig5Job
 	for _, tag := range tags {
-		full, err := dnn.ModelByShort(tag)
-		if err != nil {
-			return nil, err
-		}
-		m, err := dnn.ScaleSpatial(full, scale)
-		if err != nil {
-			return nil, err
-		}
-		w := dnn.InitWeights(m, 0xf165)
-		if err := w.Prune(m.Sparsity); err != nil {
-			return nil, err
-		}
-		input := dnn.RandomInput(m, 0x1217)
 		for _, hw := range fig5Arches() {
-			mr, err := runModelStats(m, w, input, hw)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s on %s: %w", m.Name, hw.Name, err)
-			}
-			row := Fig5Row{
-				Model: full.Name, Arch: hw.Name, Scale: scale,
-				Cycles: mr.TotalCycles(), MACs: mr.TotalMACs(),
-				Utilization: mr.AvgUtilization(),
-				EnergyUJ:    onChip(mr.EnergyBreakdown()),
-				AreaUM2:     energy.Area(&hw),
-				TotalArea:   energy.TotalArea(&hw),
-			}
-			for _, v := range row.EnergyUJ {
-				row.TotalEnergy += v
-			}
-			rows = append(rows, row)
+			jobs = append(jobs, fig5Job{tag: tag, hw: hw})
 		}
 	}
-	return rows, nil
+	return simpool.Map(ctx, workers, jobs, func(_ context.Context, _ int, j fig5Job) (Fig5Row, error) {
+		return fig5Run(j.tag, j.hw, scale)
+	})
+}
+
+// fig5Run simulates one (model, architecture) pair from scratch.
+func fig5Run(tag string, hw config.Hardware, scale int) (Fig5Row, error) {
+	full, err := dnn.ModelByShort(tag)
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	m, err := dnn.ScaleSpatial(full, scale)
+	if err != nil {
+		return Fig5Row{}, err
+	}
+	w := dnn.InitWeights(m, 0xf165)
+	if err := w.Prune(m.Sparsity); err != nil {
+		return Fig5Row{}, err
+	}
+	input := dnn.RandomInput(m, 0x1217)
+	mr, err := runModelStats(m, w, input, hw)
+	if err != nil {
+		return Fig5Row{}, fmt.Errorf("fig5 %s on %s: %w", m.Name, hw.Name, err)
+	}
+	counters := map[string]uint64{}
+	for _, r := range mr.Runs {
+		for k, v := range r.Counters {
+			counters[k] += v
+		}
+	}
+	row := Fig5Row{
+		Model: full.Name, Arch: hw.Name, Scale: scale,
+		Cycles: mr.TotalCycles(), MACs: mr.TotalMACs(),
+		Utilization: mr.AvgUtilization(),
+		EnergyUJ:    onChip(mr.EnergyBreakdown()),
+		AreaUM2:     energy.Area(&hw),
+		TotalArea:   energy.TotalArea(&hw),
+		Counters:    counters,
+	}
+	for _, v := range row.EnergyUJ {
+		row.TotalEnergy += v
+	}
+	return row, nil
 }
 
 // onChip keeps the four components of the paper's Fig. 5b breakdown

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dnn"
 	"repro/internal/sched"
+	"repro/internal/simpool"
 	"repro/internal/tensor"
 )
 
@@ -27,50 +29,73 @@ type Fig7bRow struct {
 // Fig7 computes both panels at the given scale and the Table I sparsity
 // ratios, over a 256-switch fabric.
 func Fig7(scale int) ([]Fig7aRow, []Fig7bRow, error) {
-	const capacity = 256
-	var aRows []Fig7aRow
-	var bRows []Fig7bRow
-	for _, full := range dnn.AllModels() {
-		m, err := dnn.ScaleSpatial(full, scale)
-		if err != nil {
-			return nil, nil, err
-		}
-		w := dnn.InitWeights(m, 0xf167)
-		if err := w.Prune(m.Sparsity); err != nil {
-			return nil, nil, err
-		}
-		var sumFilters, layerCount float64
-		var first []int
-		for i := range m.Layers {
-			l := &m.Layers[i]
-			nnz := filterNNZ(l, w)
-			if nnz == nil {
-				continue
-			}
-			rounds := sched.Pack(nnz, capacity, sched.NS, 0)
-			if len(rounds) == 0 {
-				continue
-			}
-			sumFilters += sched.FiltersPerRound(rounds)
-			layerCount++
-			if first == nil {
-				first = append([]int(nil), nnz...)
-				for j, v := range first {
-					if v > capacity {
-						first[j] = capacity
-					}
-				}
-				sort.Sort(sort.Reverse(sort.IntSlice(first)))
-			}
-		}
-		avg := 0.0
-		if layerCount > 0 {
-			avg = sumFilters / layerCount
-		}
-		aRows = append(aRows, Fig7aRow{Model: full.Name, AvgFilters: avg})
-		bRows = append(bRows, Fig7bRow{Model: full.Name, Sizes: first})
+	return Fig7Par(context.Background(), 1, scale)
+}
+
+type fig7Pair struct {
+	a Fig7aRow
+	b Fig7bRow
+}
+
+// Fig7Par is Fig7 with one simpool job per model.
+func Fig7Par(ctx context.Context, workers, scale int) ([]Fig7aRow, []Fig7bRow, error) {
+	models := dnn.AllModels()
+	pairs, err := simpool.Map(ctx, workers, models, func(_ context.Context, _ int, full *dnn.Model) (fig7Pair, error) {
+		return fig7Model(full, scale)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	aRows := make([]Fig7aRow, len(pairs))
+	bRows := make([]Fig7bRow, len(pairs))
+	for i, p := range pairs {
+		aRows[i], bRows[i] = p.a, p.b
 	}
 	return aRows, bRows, nil
+}
+
+func fig7Model(full *dnn.Model, scale int) (fig7Pair, error) {
+	const capacity = 256
+	m, err := dnn.ScaleSpatial(full, scale)
+	if err != nil {
+		return fig7Pair{}, err
+	}
+	w := dnn.InitWeights(m, 0xf167)
+	if err := w.Prune(m.Sparsity); err != nil {
+		return fig7Pair{}, err
+	}
+	var sumFilters, layerCount float64
+	var first []int
+	for i := range m.Layers {
+		l := &m.Layers[i]
+		nnz := filterNNZ(l, w)
+		if nnz == nil {
+			continue
+		}
+		rounds := sched.Pack(nnz, capacity, sched.NS, 0)
+		if len(rounds) == 0 {
+			continue
+		}
+		sumFilters += sched.FiltersPerRound(rounds)
+		layerCount++
+		if first == nil {
+			first = append([]int(nil), nnz...)
+			for j, v := range first {
+				if v > capacity {
+					first[j] = capacity
+				}
+			}
+			sort.Sort(sort.Reverse(sort.IntSlice(first)))
+		}
+	}
+	avg := 0.0
+	if layerCount > 0 {
+		avg = sumFilters / layerCount
+	}
+	return fig7Pair{
+		a: Fig7aRow{Model: full.Name, AvgFilters: avg},
+		b: Fig7bRow{Model: full.Name, Sizes: first},
+	}, nil
 }
 
 // filterNNZ returns the non-zero count of each filter (row of the GEMM

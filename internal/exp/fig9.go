@@ -1,12 +1,14 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/config"
 	"repro/internal/dnn"
 	"repro/internal/sched"
+	"repro/internal/simpool"
 	"repro/stonne"
 )
 
@@ -30,48 +32,74 @@ type Fig9Row struct {
 // Fig9 runs the seven models under NS, RDM and LFF on the use-case-3
 // system (256 multipliers, 128 elements/cycle bandwidth).
 func Fig9(scale int, tags []string) ([]Fig9Row, error) {
+	return Fig9Par(context.Background(), 1, scale, tags)
+}
+
+type fig9Job struct {
+	tag string
+	pol sched.Policy
+}
+
+// Fig9Par is Fig9 with one simpool job per (model, policy) run; the
+// NS normalization is a serial post-pass over the ordered rows, exactly
+// the arithmetic of the serial loop.
+func Fig9Par(ctx context.Context, workers, scale int, tags []string) ([]Fig9Row, error) {
 	if tags == nil {
 		tags = []string{"M", "S", "A", "R", "V", "S-M", "B"}
 	}
-	hw := config.SIGMALike(256, 128)
 	policies := []sched.Policy{sched.NS, sched.RDM, sched.LFF}
-	var rows []Fig9Row
+	var jobs []fig9Job
 	for _, tag := range tags {
-		full, err := dnn.ModelByShort(tag)
-		if err != nil {
-			return nil, err
-		}
-		m, err := dnn.ScaleSpatial(full, scale)
-		if err != nil {
-			return nil, err
-		}
-		w := dnn.InitWeights(m, 0xf169)
-		if err := w.Prune(m.Sparsity); err != nil {
-			return nil, err
-		}
-		input := dnn.RandomInput(m, 0x919)
-		var nsCycles uint64
-		var nsEnergy float64
 		for _, pol := range policies {
-			_, mr, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{Policy: pol})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s %v: %w", m.Name, pol, err)
-			}
-			row := Fig9Row{
-				Model: full.Name, Policy: pol.String(), Scale: scale,
-				Cycles:      mr.TotalCycles(),
-				Utilization: mr.AvgUtilization(),
-				EnergyUJ:    mr.TotalEnergy(),
-			}
-			if pol == sched.NS {
-				nsCycles, nsEnergy = row.Cycles, row.EnergyUJ
-			}
-			row.NormRuntime = float64(row.Cycles) / float64(nsCycles)
-			row.NormEnergy = row.EnergyUJ / nsEnergy
-			rows = append(rows, row)
+			jobs = append(jobs, fig9Job{tag: tag, pol: pol})
 		}
 	}
+	rows, err := simpool.Map(ctx, workers, jobs, func(_ context.Context, _ int, j fig9Job) (Fig9Row, error) {
+		return fig9Run(j.tag, j.pol, scale)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Normalize each policy row to its model's NS row (the first of each
+	// group — policy order inside a group is fixed).
+	var nsCycles uint64
+	var nsEnergy float64
+	for i := range rows {
+		if rows[i].Policy == sched.NS.String() {
+			nsCycles, nsEnergy = rows[i].Cycles, rows[i].EnergyUJ
+		}
+		rows[i].NormRuntime = float64(rows[i].Cycles) / float64(nsCycles)
+		rows[i].NormEnergy = rows[i].EnergyUJ / nsEnergy
+	}
 	return rows, nil
+}
+
+// fig9Run simulates one model under one scheduling policy.
+func fig9Run(tag string, pol sched.Policy, scale int) (Fig9Row, error) {
+	hw := config.SIGMALike(256, 128)
+	full, err := dnn.ModelByShort(tag)
+	if err != nil {
+		return Fig9Row{}, err
+	}
+	m, err := dnn.ScaleSpatial(full, scale)
+	if err != nil {
+		return Fig9Row{}, err
+	}
+	w := dnn.InitWeights(m, 0xf169)
+	if err := w.Prune(m.Sparsity); err != nil {
+		return Fig9Row{}, err
+	}
+	input := dnn.RandomInput(m, 0x919)
+	_, mr, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{Policy: pol})
+	if err != nil {
+		return Fig9Row{}, fmt.Errorf("fig9 %s %v: %w", m.Name, pol, err)
+	}
+	return Fig9Row{
+		Model: full.Name, Policy: pol.String(), Scale: scale,
+		Cycles:      mr.TotalCycles(),
+		Utilization: mr.AvgUtilization(),
+		EnergyUJ:    mr.TotalEnergy(),
+	}, nil
 }
 
 // Fig9cRow is one layer of the Resnets-50 sensitivity study (Fig. 9c): the
@@ -88,24 +116,36 @@ type Fig9cRow struct {
 // representative layers spanning its low/medium/high sensitivity classes;
 // callers slice the extremes.
 func Fig9c(scale int) ([]Fig9cRow, error) {
-	hw := config.SIGMALike(256, 128)
-	full := dnn.ResNet50()
-	m, err := dnn.ScaleSpatial(full, scale)
+	return Fig9cPar(context.Background(), 1, scale)
+}
+
+// Fig9cPar is Fig9c with the NS and LFF full-model runs as two simpool
+// jobs (each rebuilds its own model and weights).
+func Fig9cPar(ctx context.Context, workers, scale int) ([]Fig9cRow, error) {
+	mrs, err := simpool.Map(ctx, workers, []sched.Policy{sched.NS, sched.LFF},
+		func(_ context.Context, _ int, pol sched.Policy) (*stonne.ModelRun, error) {
+			hw := config.SIGMALike(256, 128)
+			m, err := dnn.ScaleSpatial(dnn.ResNet50(), scale)
+			if err != nil {
+				return nil, err
+			}
+			w := dnn.InitWeights(m, 0xf169)
+			if err := w.Prune(m.Sparsity); err != nil {
+				return nil, err
+			}
+			input := dnn.RandomInput(m, 0x919)
+			_, mr, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{Policy: pol})
+			if err != nil {
+				return nil, fmt.Errorf("fig9c %v: %w", pol, err)
+			}
+			return mr, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	w := dnn.InitWeights(m, 0xf169)
-	if err := w.Prune(m.Sparsity); err != nil {
-		return nil, err
-	}
-	input := dnn.RandomInput(m, 0x919)
 
 	runs := map[string][2]*stonne.Run{} // layer -> [NS, LFF]
-	for pi, pol := range []sched.Policy{sched.NS, sched.LFF} {
-		_, mr, err := stonne.RunModel(m, w, input, hw, &stonne.RunOptions{Policy: pol})
-		if err != nil {
-			return nil, fmt.Errorf("fig9c %v: %w", pol, err)
-		}
+	for pi, mr := range mrs {
 		for _, r := range mr.Runs {
 			pair := runs[r.Layer]
 			pair[pi] = r

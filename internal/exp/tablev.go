@@ -1,9 +1,12 @@
 package exp
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/simpool"
+	"repro/internal/stats"
 )
 
 // TableVResult is one validation row: published RTL and STONNE counts
@@ -17,14 +20,24 @@ type TableVResult struct {
 
 // TableVRun executes the eleven validation microbenchmarks.
 func TableVRun() ([]TableVResult, float64, error) {
-	var out []TableVResult
-	var sumAbs float64
+	return TableVRunPar(context.Background(), 1)
+}
+
+// TableVRunPar fans the validation microbenchmarks over a simpool — each
+// row is a self-contained engine run — and computes the error summary as a
+// serial post-pass in row order.
+func TableVRunPar(ctx context.Context, workers int) ([]TableVResult, float64, error) {
 	rows := engine.TableV()
-	for _, row := range rows {
-		run, err := engine.RunTableVRow(row)
-		if err != nil {
-			return nil, 0, err
-		}
+	runs, err := simpool.Map(ctx, workers, rows, func(_ context.Context, _ int, row engine.TableVRow) (*stats.Run, error) {
+		return engine.RunTableVRow(row)
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]TableVResult, 0, len(rows))
+	var sumAbs float64
+	for i, row := range rows {
+		run := runs[i]
 		r := TableVResult{
 			TableVRow: row,
 			Got:       run.Cycles,

@@ -21,6 +21,9 @@ type GlobalBuffer struct {
 	sizeBytes    int
 	bytesPerElem int
 	counters     *comp.Counters
+
+	// Pre-resolved handles: Read/Write run in per-element inner loops.
+	cReads, cWrites comp.Counter
 }
 
 // NewGlobalBuffer builds a GB of the configured size.
@@ -29,6 +32,8 @@ func NewGlobalBuffer(h *config.Hardware, c *comp.Counters) *GlobalBuffer {
 		sizeBytes:    h.GBSizeKB * 1024,
 		bytesPerElem: h.BytesPerElement,
 		counters:     c,
+		cReads:       c.Counter("gb.reads"),
+		cWrites:      c.Counter("gb.writes"),
 	}
 }
 
@@ -36,10 +41,10 @@ func NewGlobalBuffer(h *config.Hardware, c *comp.Counters) *GlobalBuffer {
 func (g *GlobalBuffer) CapacityElems() int { return g.sizeBytes / g.bytesPerElem }
 
 // Read accounts n element reads.
-func (g *GlobalBuffer) Read(n int) { g.counters.Add("gb.reads", uint64(n)) }
+func (g *GlobalBuffer) Read(n int) { g.cReads.Add(uint64(n)) }
 
 // Write accounts n element writes.
-func (g *GlobalBuffer) Write(n int) { g.counters.Add("gb.writes", uint64(n)) }
+func (g *GlobalBuffer) Write(n int) { g.cWrites.Add(uint64(n)) }
 
 // CheckTileFit reports an error when a tile working set exceeds the buffer
 // (weights + inputs + outputs for one tile iteration, double-buffered).
@@ -61,6 +66,8 @@ type DRAM struct {
 	rowHit, rowMiss int
 	counters        *comp.Counters
 
+	cReads, cRowActs, cStallEvents, cWrites comp.Counter
+
 	// prefetchReady is the cycle at which the currently prefetching tile
 	// completes.
 	prefetchReady float64
@@ -78,6 +85,10 @@ func NewDRAM(h *config.Hardware, c *comp.Counters) *DRAM {
 		rowHit:        h.DRAM.RowHitLatency,
 		rowMiss:       h.DRAM.RowMissLatency,
 		counters:      c,
+		cReads:        c.Counter("dram.reads"),
+		cRowActs:      c.Counter("dram.row_activations"),
+		cStallEvents:  c.Counter("dram.stall_events"),
+		cWrites:       c.Counter("dram.writes"),
 	}
 }
 
@@ -90,8 +101,8 @@ func (d *DRAM) FetchCycles(n int) float64 {
 	stream := float64(n) / d.elemsPerCycle
 	rows := 1 + n/d.rowElems
 	overhead := float64(rows*d.rowMiss) * 0.1 // banking hides most activations
-	d.counters.Add("dram.reads", uint64(n))
-	d.counters.Add("dram.row_activations", uint64(rows))
+	d.cReads.Add(uint64(n))
+	d.cRowActs.Add(uint64(rows))
 	return stream + overhead
 }
 
@@ -112,12 +123,12 @@ func (d *DRAM) StallCycles(now float64) float64 {
 	if d.prefetchReady <= now {
 		return 0
 	}
-	d.counters.Add("dram.stall_events", 1)
+	d.cStallEvents.Add(1)
 	return d.prefetchReady - now
 }
 
 // WriteBack accounts n output elements leaving for DRAM; writes are
 // buffered and overlap compute, so they cost bandwidth but no stall.
 func (d *DRAM) WriteBack(n int) {
-	d.counters.Add("dram.writes", uint64(n))
+	d.cWrites.Add(uint64(n))
 }

@@ -49,6 +49,10 @@ type Array struct {
 	ms         []msState
 	counters   *comp.Counters
 
+	// Pre-resolved counter handles (per-cycle hot path).
+	cMults, cActive, cWeightLoads, cForwards, cReconf comp.Counter
+	cFifoPushes, cFifoPops                            comp.Counter
+
 	vnMembers [][]int // vn -> member switch indices
 	vnOf      []int   // switch -> vn (-1 when unassigned)
 }
@@ -57,12 +61,19 @@ type Array struct {
 // MN (true) or Disabled MN (false). fifoDepth bounds each operand FIFO.
 func NewArray(n, fifoDepth int, forwarding bool, c *comp.Counters) *Array {
 	a := &Array{
-		name:       "mn.array",
-		n:          n,
-		forwarding: forwarding,
-		ms:         make([]msState, n),
-		counters:   c,
-		vnOf:       make([]int, n),
+		name:         "mn.array",
+		n:            n,
+		forwarding:   forwarding,
+		ms:           make([]msState, n),
+		counters:     c,
+		cMults:       c.Counter("mn.mults"),
+		cActive:      c.Counter("mn.active_cycles"),
+		cWeightLoads: c.Counter("mn.weight_loads"),
+		cForwards:    c.Counter("mn.forwards"),
+		cReconf:      c.Counter("mn.reconfigurations"),
+		cFifoPushes:  c.Counter("mn.fifo.pushes"),
+		cFifoPops:    c.Counter("mn.fifo.pops"),
+		vnOf:         make([]int, n),
 	}
 	for i := range a.ms {
 		a.ms[i].in = comp.NewFIFO(fmt.Sprintf("mn.ms%d.in", i), fifoDepth)
@@ -99,7 +110,7 @@ func (a *Array) ConfigureVNs(vns [][]int) error {
 		}
 	}
 	a.vnMembers = vns
-	a.counters.Add("mn.reconfigurations", 1)
+	a.cReconf.Add(1)
 	return nil
 }
 
@@ -144,7 +155,7 @@ func (a *Array) Deliver(ms int, p comp.Packet) bool {
 			s.hasStat = true
 			s.curGen = 0
 		}
-		a.counters.Add("mn.weight_loads", 1)
+		a.cWeightLoads.Add(1)
 		return true
 	default:
 		return s.in.Push(p)
@@ -167,7 +178,7 @@ func (a *Array) Forward(from, to int) bool {
 		Value: src.lastInput, Kind: comp.InputPkt, Seq: src.lastInputSeq,
 	})
 	if ok {
-		a.counters.Add("mn.forwards", 1)
+		a.cForwards.Add(1)
 	}
 	return ok
 }
@@ -226,8 +237,8 @@ func (a *Array) Cycle() {
 		fired++
 	}
 	if fired > 0 {
-		a.counters.Add("mn.mults", uint64(fired))
-		a.counters.Add("mn.active_cycles", 1)
+		a.cMults.Add(uint64(fired))
+		a.cActive.Add(1)
 	}
 }
 
@@ -262,12 +273,24 @@ func (a *Array) PopVN(vn, seq int) (values []float32, last bool) {
 
 // PopMembers is PopVN over an explicit member set.
 func (a *Array) PopMembers(members []int, seq int) (values []float32, last bool) {
+	return a.AppendPop(nil, members, seq)
+}
+
+// AppendPop appends the popped head psums of the member set for step seq to
+// dst and returns the extended slice — the allocation-free variant the
+// cycle loop uses with a reusable scratch buffer.
+func (a *Array) AppendPop(dst []float32, members []int, seq int) (values []float32, last bool) {
+	values = dst
 	for _, ms := range members {
 		s := &a.ms[ms]
 		if len(s.psums) > 0 && s.psums[0].seq == seq {
 			values = append(values, s.psums[0].value)
 			last = last || s.psums[0].last
-			s.psums = s.psums[1:]
+			// Copy-down pop keeps the latch's backing array (depth ≤
+			// psumLatchDepth), so the following append reuses it instead of
+			// reallocating every multiply.
+			n := copy(s.psums, s.psums[1:])
+			s.psums = s.psums[:n]
 		}
 	}
 	return values, last
@@ -311,7 +334,7 @@ func (a *Array) FIFOOccupancy() int {
 func (a *Array) CollectFIFOStats() {
 	for i := range a.ms {
 		pushes, pops, _ := a.ms[i].in.Stats()
-		a.counters.Add("mn.fifo.pushes", pushes)
-		a.counters.Add("mn.fifo.pops", pops)
+		a.cFifoPushes.Add(pushes)
+		a.cFifoPops.Add(pops)
 	}
 }

@@ -85,9 +85,16 @@ func (k Kind) String() string {
 	}
 }
 
+// inflight is one reduction travelling the tree. The job's product set is
+// folded at Offer time (same element order, hence bit-identical float
+// results) so the network never retains the caller's Values slice — what
+// lets the controller reuse one scratch buffer for every pop.
 type inflight struct {
-	job   Job
-	ready uint64 // cycle at which the reduced value pops out of the tree
+	vn     int
+	outIdx int
+	sum    float32
+	last   bool
+	ready  uint64 // cycle at which the reduced value pops out of the tree
 }
 
 // Net is the concrete implementation; behaviour differences between kinds
@@ -102,23 +109,44 @@ type Net struct {
 	counters   *comp.Counters
 	cycleCount uint64
 
+	// Pre-resolved counter handles (per-cycle hot path). cAdders is the
+	// kind-specific adder event counter.
+	cInputStalls, cAdders, cAccAccesses comp.Counter
+	cOutputs, cActive, cOutputStalls    comp.Counter
+
 	inflight   []inflight
-	acc        map[int]float32 // OutIdx -> running partial (ARTAcc/FAN)
+	acc        map[int]float32  // OutIdx -> running partial (ARTAcc/FAN)
+	blocked    map[int]struct{} // reused per cycle: OutIdx retirement order
 	outQ       []Result
+	outHead    int // consumed prefix of outQ (head-indexed queue)
 	inUsedThis int // adder inputs consumed in the current cycle
 }
 
 // New builds a reduction network of the given kind over `size` inputs with
 // an output bandwidth of outBW elements/cycle.
 func New(kind Kind, size, outBW int, c *comp.Counters) *Net {
+	adders := "rn.adders_lrn"
+	switch kind {
+	case ART, ARTAcc:
+		adders = "rn.adders_3to1"
+	case FAN:
+		adders = "rn.adders_fan"
+	}
 	return &Net{
-		kind:     kind,
-		name:     "rn." + kind.String(),
-		size:     size,
-		outBW:    outBW,
-		hasAcc:   kind == ARTAcc || kind == FAN,
-		counters: c,
-		acc:      make(map[int]float32),
+		kind:          kind,
+		name:          "rn." + kind.String(),
+		size:          size,
+		outBW:         outBW,
+		hasAcc:        kind == ARTAcc || kind == FAN,
+		counters:      c,
+		cInputStalls:  c.Counter("rn.input_stalls"),
+		cAdders:       c.Counter(adders),
+		cAccAccesses:  c.Counter("rn.acc_accesses"),
+		cOutputs:      c.Counter("rn.outputs"),
+		cActive:       c.Counter("rn.active_cycles"),
+		cOutputStalls: c.Counter("rn.output_stalls"),
+		acc:           make(map[int]float32),
+		blocked:       make(map[int]struct{}),
 	}
 }
 
@@ -142,17 +170,26 @@ func (n *Net) CanAccept(inputs int) bool { return n.inUsedThis+inputs <= n.size 
 
 // Offer implements Network: a job occupies len(Values) tree inputs in the
 // current cycle; the spatial tree can ingest `size` inputs per cycle total.
+// The Values slice is not retained — its elements are folded (in order)
+// before Offer returns, so callers may reuse the backing array.
 func (n *Net) Offer(j Job) bool {
 	need := len(j.Values)
 	if need == 0 {
 		return true
 	}
 	if n.inUsedThis+need > n.size {
-		n.counters.Add("rn.input_stalls", 1)
+		n.cInputStalls.Add(1)
 		return false
 	}
 	n.inUsedThis += need
-	n.inflight = append(n.inflight, inflight{job: j, ready: n.cycleCount + uint64(n.latency(need))})
+	sum := float32(0)
+	for _, v := range j.Values {
+		sum += v
+	}
+	n.inflight = append(n.inflight, inflight{
+		vn: j.VN, outIdx: j.OutIdx, sum: sum, last: j.Last,
+		ready: n.cycleCount + uint64(n.latency(need)),
+	})
 	n.countAdders(need)
 	return true
 }
@@ -182,14 +219,15 @@ func (n *Net) countAdders(inputs int) {
 	switch n.kind {
 	case ART, ARTAcc:
 		// 3:1 adder switches: each absorbs up to two extra operands.
-		n.counters.Add("rn.adders_3to1", uint64(inputs/2))
-	case FAN:
-		// 2:1 adders with forwarding muxes: k-1 additions per reduction.
-		n.counters.Add("rn.adders_fan", uint64(inputs-1))
-	case Linear:
-		n.counters.Add("rn.adders_lrn", uint64(inputs-1))
+		n.cAdders.Add(uint64(inputs / 2))
+	default:
+		// FAN / LRN: 2:1 adders, k-1 additions per reduction.
+		n.cAdders.Add(uint64(inputs - 1))
 	}
 }
+
+// outLen is the current output-queue occupancy.
+func (n *Net) outLen() int { return len(n.outQ) - n.outHead }
 
 // Cycle advances the pipeline: completed reductions either accumulate or
 // join the output queue, and up to outBW outputs leave through the ports.
@@ -200,54 +238,57 @@ func (n *Net) Cycle() {
 	// Retire reductions whose tree traversal completed. Retirement is
 	// in-order per output index: a short reduction (a partial last fold)
 	// must not overtake an earlier fold of the same output through the
-	// accumulator.
-	blocked := map[int]struct{}{}
-	kept := n.inflight[:0]
-	for _, f := range n.inflight {
-		if _, wait := blocked[f.job.OutIdx]; wait || f.ready > n.cycleCount {
-			blocked[f.job.OutIdx] = struct{}{}
-			kept = append(kept, f)
-			continue
-		}
-		sum := float32(0)
-		for _, v := range f.job.Values {
-			sum += v
-		}
-		if n.hasAcc {
-			n.counters.Add("rn.acc_accesses", 1)
-			n.acc[f.job.OutIdx] += sum
-			if f.job.Last {
-				n.outQ = append(n.outQ, Result{VN: f.job.VN, OutIdx: f.job.OutIdx, Value: n.acc[f.job.OutIdx], Last: true})
-				delete(n.acc, f.job.OutIdx)
+	// accumulator. The blocked set is a reused map, cleared per cycle only
+	// when in-flight work exists, so an idle network allocates nothing.
+	if len(n.inflight) > 0 {
+		clear(n.blocked)
+		kept := n.inflight[:0]
+		for _, f := range n.inflight {
+			if _, wait := n.blocked[f.outIdx]; wait || f.ready > n.cycleCount {
+				n.blocked[f.outIdx] = struct{}{}
+				kept = append(kept, f)
+				continue
 			}
-		} else {
-			// Without accumulators every fold's partial leaves through the
-			// output ports (and is re-read by the controller), so each
-			// fold occupies port bandwidth. The engine folds externally.
-			n.outQ = append(n.outQ, Result{VN: f.job.VN, OutIdx: f.job.OutIdx, Value: sum, Last: f.job.Last})
+			if n.hasAcc {
+				n.cAccAccesses.Add(1)
+				n.acc[f.outIdx] += f.sum
+				if f.last {
+					n.outQ = append(n.outQ, Result{VN: f.vn, OutIdx: f.outIdx, Value: n.acc[f.outIdx], Last: true})
+					delete(n.acc, f.outIdx)
+				}
+			} else {
+				// Without accumulators every fold's partial leaves through the
+				// output ports (and is re-read by the controller), so each
+				// fold occupies port bandwidth. The engine folds externally.
+				n.outQ = append(n.outQ, Result{VN: f.vn, OutIdx: f.outIdx, Value: f.sum, Last: f.last})
+			}
 		}
+		n.inflight = kept
 	}
-	n.inflight = kept
 
-	// Drain output ports.
+	// Drain output ports (head-indexed pop keeps the queue's backing array).
 	sent := 0
-	for sent < n.outBW && len(n.outQ) > 0 {
-		r := n.outQ[0]
-		n.outQ = n.outQ[1:]
+	for sent < n.outBW && n.outLen() > 0 {
+		r := n.outQ[n.outHead]
+		n.outHead++
 		n.sink(r)
 		sent++
-		n.counters.Add("rn.outputs", 1)
+		n.cOutputs.Add(1)
+	}
+	if n.outHead == len(n.outQ) {
+		n.outQ = n.outQ[:0]
+		n.outHead = 0
 	}
 	if sent > 0 {
-		n.counters.Add("rn.active_cycles", 1)
+		n.cActive.Add(1)
 	}
-	if len(n.outQ) > 0 {
-		n.counters.Add("rn.output_stalls", 1)
+	if n.outLen() > 0 {
+		n.cOutputStalls.Add(1)
 	}
 }
 
 // Drained implements Network.
-func (n *Net) Drained() bool { return len(n.inflight) == 0 && len(n.outQ) == 0 }
+func (n *Net) Drained() bool { return len(n.inflight) == 0 && n.outLen() == 0 }
 
 // PendingAccumulations reports OutIdx entries still held in the
 // accumulators (non-empty indicates a missing Last job — a controller bug

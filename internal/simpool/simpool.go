@@ -1,0 +1,174 @@
+// Package simpool is the parallel simulation runtime: it fans independent
+// simulation jobs (one engine run per job — a model × architecture ×
+// bandwidth sweep point) across a bounded set of worker goroutines.
+//
+// The design leans on a property the engine already guarantees: every run
+// owns a private runCtx/Counters/buffer set, so jobs share nothing and a
+// whole sweep is embarrassingly parallel. The pool's job is therefore only
+// scheduling and bookkeeping, with four contracts the experiment layer
+// depends on:
+//
+//   - Deterministic ordering: results come back indexed by job position,
+//     independent of completion order, so parallel sweeps emit rows in
+//     exactly the serial order.
+//   - Bounded in-flight work: at most `workers` jobs execute at once
+//     (atomic-index dispatch, no job queue buildup), which bounds peak
+//     memory to workers × one-run working set.
+//   - Panic containment: a panicking job is captured as a *PanicError
+//     carrying the job index and stack instead of killing the process.
+//   - Cancellation: a cancelled context stops dispatching new jobs;
+//     in-flight jobs run to completion (engine runs are not interruptible
+//     mid-cycle) and their results are kept.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 degenerates to an exact
+// serial loop on the caller's goroutine — the equivalence anchor the
+// serial-vs-parallel tests pin.
+package simpool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic raised by one job, preserving which job blew up
+// and where.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simpool: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Workers resolves a requested worker count against a job count: <= 0 means
+// GOMAXPROCS, and the result is clamped to [1, jobs] (never more workers
+// than jobs, never fewer than one).
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if jobs >= 1 && w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn over every job on up to `workers` goroutines and returns the
+// results in job order. On error it returns the error of the lowest-indexed
+// failing job (deterministic across schedules) alongside the results
+// gathered so far; result slots of jobs that never ran hold zero values.
+// A context cancellation stops dispatch and surfaces ctx.Err() unless a job
+// error takes precedence.
+func Map[J, R any](ctx context.Context, workers int, jobs []J, fn func(ctx context.Context, index int, job J) (R, error)) ([]R, error) {
+	n := len(jobs)
+	results := make([]R, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	w := Workers(workers, n)
+
+	if w == 1 {
+		// Serial fast path: same goroutine, same order, same float
+		// environment — byte-for-byte the behaviour of a plain loop.
+		for i := range jobs {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			r, err := runJob(ctx, i, jobs[i], fn)
+			if err != nil {
+				return results, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	var (
+		next    atomic.Int64 // dispatch cursor
+		stopped atomic.Bool  // error observed: stop handing out jobs
+		wg      sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstIdx == -1 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r, err := runJob(ctx, i, jobs[i], fn)
+				if err != nil {
+					record(i, err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, ctx.Err()
+}
+
+// ForEach is Map for side-effecting jobs with no result value.
+func ForEach[J any](ctx context.Context, workers int, jobs []J, fn func(ctx context.Context, index int, job J) error) error {
+	_, err := Map(ctx, workers, jobs, func(ctx context.Context, i int, j J) (struct{}, error) {
+		return struct{}{}, fn(ctx, i, j)
+	})
+	return err
+}
+
+// Indexes runs fn for each index in [0, n) — the common sweep shape where
+// the job is defined by its position alone.
+func Indexes(ctx context.Context, workers, n int, fn func(ctx context.Context, index int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return ForEach(ctx, workers, idx, func(ctx context.Context, i int, _ int) error {
+		return fn(ctx, i)
+	})
+}
+
+// runJob invokes fn with panic containment.
+func runJob[J, R any](ctx context.Context, i int, job J, fn func(context.Context, int, J) (R, error)) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i, job)
+}

@@ -1,0 +1,201 @@
+package simpool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderingDeterministic(t *testing.T) {
+	jobs := make([]int, 100)
+	for i := range jobs {
+		jobs[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 0} {
+		got, err := Map(context.Background(), workers, jobs, func(_ context.Context, idx int, j int) (int, error) {
+			if idx != j {
+				t.Errorf("workers=%d: fn saw index %d for job %d", workers, idx, j)
+			}
+			return j * j, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	cases := []struct {
+		requested, jobs, want int
+	}{
+		{1, 10, 1},
+		{4, 10, 4},
+		{4, 2, 2},                        // clamp to job count
+		{0, 1000, runtime.GOMAXPROCS(0)}, // default
+		{-3, 1000, runtime.GOMAXPROCS(0)},
+		{8, 0, 8}, // no clamp against empty job sets
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.jobs); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.jobs, got, c.want)
+		}
+	}
+}
+
+func TestBoundedInFlight(t *testing.T) {
+	const workers = 3
+	var inFlight, maxSeen atomic.Int64
+	jobs := make([]int, 64)
+	_, err := Map(context.Background(), workers, jobs, func(_ context.Context, _ int, _ int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			m := maxSeen.Load()
+			if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := maxSeen.Load(); m > workers {
+		t.Fatalf("observed %d concurrent jobs, pool bound is %d", m, workers)
+	}
+}
+
+func TestPanicRecovered(t *testing.T) {
+	jobs := []int{0, 1, 2, 3}
+	_, err := Map(context.Background(), 2, jobs, func(_ context.Context, idx int, _ int) (int, error) {
+		if idx == 2 {
+			panic("boom")
+		}
+		return idx, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Index != 2 || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Index: %d, Value: %v, stack %d bytes}", pe.Index, pe.Value, len(pe.Stack))
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	// Make a high-index job fail instantly and a low-index job fail after a
+	// delay: the reported error must still be the low index's.
+	jobs := make([]int, 8)
+	_, err := Map(context.Background(), 8, jobs, func(_ context.Context, idx int, _ int) (int, error) {
+		switch idx {
+		case 1:
+			time.Sleep(20 * time.Millisecond)
+			return 0, fmt.Errorf("err-1")
+		case 7:
+			return 0, fmt.Errorf("err-7")
+		default:
+			time.Sleep(40 * time.Millisecond)
+			return idx, nil
+		}
+	})
+	if err == nil || err.Error() != "err-1" {
+		t.Fatalf("want err-1 (lowest failing index), got %v", err)
+	}
+}
+
+func TestErrorStopsDispatch(t *testing.T) {
+	var started atomic.Int64
+	jobs := make([]int, 1000)
+	_, err := Map(context.Background(), 2, jobs, func(_ context.Context, idx int, _ int) (int, error) {
+		started.Add(1)
+		if idx == 0 {
+			return 0, fmt.Errorf("first job fails")
+		}
+		time.Sleep(time.Millisecond)
+		return idx, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := started.Load(); n > 10 {
+		t.Fatalf("dispatch did not stop after error: %d jobs started", n)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	jobs := make([]int, 1000)
+	_, err := Map(ctx, 2, jobs, func(_ context.Context, idx int, _ int) (int, error) {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return idx, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := started.Load(); n > 20 {
+		t.Fatalf("dispatch did not stop after cancel: %d jobs started", n)
+	}
+}
+
+func TestSerialPathStopsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := Map(ctx, 1, []int{1}, func(_ context.Context, _ int, _ int) (int, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) || ran {
+		t.Fatalf("cancelled ctx: err=%v ran=%v", err, ran)
+	}
+}
+
+func TestEmptyJobs(t *testing.T) {
+	got, err := Map(context.Background(), 4, []int(nil), func(_ context.Context, _ int, _ int) (int, error) {
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty jobs: got %v, err %v", got, err)
+	}
+}
+
+func TestForEachAndIndexes(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 4, []int{1, 2, 3, 4}, func(_ context.Context, _ int, j int) error {
+		sum.Add(int64(j))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 10 {
+		t.Fatalf("ForEach sum = %d", sum.Load())
+	}
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := Indexes(context.Background(), 4, 17, func(_ context.Context, i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 17 {
+		t.Fatalf("Indexes visited %d of 17", len(seen))
+	}
+}

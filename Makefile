@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test race bench vet
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/dnn"
+	"repro/internal/sim"
 	"repro/internal/simpool"
 	"repro/stonne"
 )
@@ -30,6 +31,10 @@ func main() {
 		os.Exit(2)
 	}
 	op := os.Args[1]
+	if op == "-list-archs" || op == "--list-archs" || op == "list-archs" {
+		listArchs()
+		return
+	}
 	fs := flag.NewFlagSet(op, flag.ExitOnError)
 
 	arch := fs.String("arch", "maeri", "preset architecture: tpu | maeri | sigma | snapea")
@@ -231,17 +236,15 @@ func pickHW(file, arch string, ms, bw int) (stonne.Hardware, error) {
 		}
 		return inst.HW(), nil
 	}
-	switch arch {
-	case "tpu":
-		return stonne.TPULike(ms), nil
-	case "maeri":
-		return stonne.MAERILike(ms, bw), nil
-	case "sigma":
-		return stonne.SIGMALike(ms, bw), nil
-	case "snapea":
-		return stonne.SNAPEALike(ms, bw), nil
-	default:
-		return stonne.Hardware{}, fmt.Errorf("unknown architecture %q", arch)
+	return sim.PresetHW(arch, ms, bw)
+}
+
+// listArchs prints the architecture registry — every composition this
+// build can simulate, in registration order.
+func listArchs() {
+	fmt.Println("registered architectures:")
+	for _, a := range sim.List() {
+		fmt.Printf("  %-8s %-18s %s\n", a.Name, a.Title, a.Description)
 	}
 }
 
@@ -347,6 +350,7 @@ func runTrainCmd(hw stonne.Hardware, modelFile, weightsFile, saveWeights string,
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: stonne <gemm|conv|spmm|model|train> [flags]
+       stonne -list-archs
 run "stonne gemm -h" for the flag list`)
 }
 

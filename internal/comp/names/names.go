@@ -1,0 +1,78 @@
+// Package names is the single vocabulary of activity-counter names shared
+// by the hardware modules, the engines, the energy model and the results
+// path. Every counter a module emits and every counter a consumer reads is
+// spelled through one of these constants, so a typo'd name is a compile
+// error instead of a silently-zero counter in a report.
+//
+// The dotted prefix is the component tier the event belongs to: gb (Global
+// Buffer), dram, dn (distribution network), mn (multiplier network), rn
+// (reduction network), ctrl (memory controller), snapea (the use-case-2
+// controller extensions) and sched (the sparse filter scheduler).
+package names
+
+// Global Buffer.
+const (
+	GBReads     = "gb.reads"
+	GBWrites    = "gb.writes"
+	GBMetaReads = "gb.meta_reads"
+)
+
+// Off-chip DRAM model.
+const (
+	DRAMReads             = "dram.reads"
+	DRAMWrites            = "dram.writes"
+	DRAMRowActivations    = "dram.row_activations"
+	DRAMStallEvents       = "dram.stall_events"
+	DRAMInitialFillCycles = "dram.initial_fill_cycles"
+)
+
+// Distribution network.
+const (
+	DNInjections       = "dn.injections"
+	DNLinkTraversals   = "dn.link_traversals"
+	DNSwitchTraversals = "dn.switch_traversals"
+	DNActiveCycles     = "dn.active_cycles"
+	DNStallCycles      = "dn.stall_cycles"
+)
+
+// Multiplier network.
+const (
+	MNMults            = "mn.mults"
+	MNForwards         = "mn.forwards"
+	MNWeightLoads      = "mn.weight_loads"
+	MNActiveCycles     = "mn.active_cycles"
+	MNReconfigurations = "mn.reconfigurations"
+	MNComparisons      = "mn.comparisons"
+	MNFifoPushes       = "mn.fifo.pushes"
+	MNFifoPops         = "mn.fifo.pops"
+)
+
+// Reduction network.
+const (
+	RNAddersLRN    = "rn.adders_lrn"
+	RNAddersFAN    = "rn.adders_fan"
+	RNAdders3to1   = "rn.adders_3to1"
+	RNAccAccesses  = "rn.acc_accesses"
+	RNOutputs      = "rn.outputs"
+	RNInputStalls  = "rn.input_stalls"
+	RNOutputStalls = "rn.output_stalls"
+	RNActiveCycles = "rn.active_cycles"
+)
+
+// Memory controller.
+const (
+	CtrlReloadWaitCycles = "ctrl.reload_wait_cycles"
+	CtrlDRAMWaitCycles   = "ctrl.dram_wait_cycles"
+)
+
+// SNAPEA controller extensions (use case 2).
+const (
+	SNAPEASignChecks = "snapea.sign_checks"
+	SNAPEACuts       = "snapea.cuts"
+	SNAPEASavedMACs  = "snapea.saved_macs"
+)
+
+// Sparse filter scheduler (use case 3).
+const (
+	SchedRounds = "sched.rounds"
+)

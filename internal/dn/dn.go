@@ -11,6 +11,7 @@ import (
 	"math/bits"
 
 	"repro/internal/comp"
+	"repro/internal/comp/names"
 )
 
 // Delivery is one unique value read from the Global Buffer this cycle,
@@ -78,9 +79,9 @@ func newBase(name string, leaves, bandwidth int, c *comp.Counters) base {
 		leaves:      leaves,
 		bandwidth:   bandwidth,
 		counters:    c,
-		cStalls:     c.Counter("dn.stall_cycles"),
-		cInjections: c.Counter("dn.injections"),
-		cActive:     c.Counter("dn.active_cycles"),
+		cStalls:     c.Counter(names.DNStallCycles),
+		cInjections: c.Counter(names.DNInjections),
+		cActive:     c.Counter(names.DNActiveCycles),
 	}
 }
 
@@ -152,8 +153,8 @@ type Tree struct {
 func NewTree(leaves, bandwidth int, c *comp.Counters) *Tree {
 	return &Tree{
 		base:      newBase("dn.tree", leaves, bandwidth, c),
-		cLinkTrav: c.Counter("dn.link_traversals"),
-		cForwards: c.Counter("mn.forwards"),
+		cLinkTrav: c.Counter(names.DNLinkTraversals),
+		cForwards: c.Counter(names.MNForwards),
 		stamp:     make([]uint32, 2*leaves),
 	}
 }
@@ -233,7 +234,7 @@ type Benes struct {
 func NewBenes(leaves, bandwidth int, c *comp.Counters) *Benes {
 	return &Benes{
 		base:        newBase("dn.benes", leaves, bandwidth, c),
-		cSwitchTrav: c.Counter("dn.switch_traversals"),
+		cSwitchTrav: c.Counter(names.DNSwitchTraversals),
 		levels:      2*log2ceil(leaves) + 1,
 	}
 }
@@ -298,7 +299,7 @@ type PointToPoint struct {
 func NewPointToPoint(leaves, bandwidth int, c *comp.Counters) *PointToPoint {
 	return &PointToPoint{
 		base:      newBase("dn.popn", leaves, bandwidth, c),
-		cLinkTrav: c.Counter("dn.link_traversals"),
+		cLinkTrav: c.Counter(names.DNLinkTraversals),
 	}
 }
 

@@ -16,6 +16,7 @@ package energy
 import (
 	"math"
 
+	"repro/internal/comp/names"
 	"repro/internal/config"
 	"repro/internal/stats"
 )
@@ -36,42 +37,42 @@ func DefaultTable() Table {
 	return Table{
 		PerEvent: map[string]float64{
 			// Multiplier switches: an FP8 multiply plus operand latching.
-			"mn.mults": 0.09,
+			names.MNMults: 0.09,
 			// Forwarding-link hop (register + short wire).
-			"mn.forwards":     0.012,
-			"mn.weight_loads": 0.03,
-			"mn.fifo.pushes":  0.006,
-			"mn.fifo.pops":    0.006,
+			names.MNForwards:    0.012,
+			names.MNWeightLoads: 0.03,
+			names.MNFifoPushes:  0.006,
+			names.MNFifoPops:    0.006,
 
 			// Reduction networks dominate the published breakdowns (84%,
 			// 58% and 43% of the TPU/MAERI/SIGMA on-chip energy): each
 			// event is an adder plus its pipeline register and the long
 			// wires of the tree/chain level it drives. The three costs
 			// are calibrated so the Fig. 5b shares come out at 256 MS.
-			"rn.adders_lrn":   2.0,  // LRN accumulate: adder + psum register + drain chain slice
-			"rn.adders_3to1":  3.0,  // ART 3:1 adder node + horizontal link
-			"rn.adders_fan":   1.42, // FAN 2:1 adder + forwarding mux
-			"rn.acc_accesses": 0.12,
-			"rn.outputs":      0.08,
+			names.RNAddersLRN:   2.0,  // LRN accumulate: adder + psum register + drain chain slice
+			names.RNAdders3to1:  3.0,  // ART 3:1 adder node + horizontal link
+			names.RNAddersFAN:   1.42, // FAN 2:1 adder + forwarding mux
+			names.RNAccAccesses: 0.12,
+			names.RNOutputs:     0.08,
 
 			// Distribution networks: per-link / per-switch traversals.
-			"dn.link_traversals":   0.045, // tree or systolic edge
-			"dn.switch_traversals": 0.03,  // Benes 2×2 switch hop
-			"dn.injections":        0.01,
+			names.DNLinkTraversals:   0.045, // tree or systolic edge
+			names.DNSwitchTraversals: 0.03,  // Benes 2×2 switch hop
+			names.DNInjections:       0.01,
 
 			// Global buffer SRAM: per-element (FP8 byte) access.
-			"gb.reads":      0.55,
-			"gb.writes":     0.65,
-			"gb.meta_reads": 0.35,
+			names.GBReads:     0.55,
+			names.GBWrites:    0.65,
+			names.GBMetaReads: 0.35,
 
 			// Off-chip DRAM per-element transfer (amortized HBM2 energy).
-			"dram.reads":  10.0,
-			"dram.writes": 10.0,
+			names.DRAMReads:  10.0,
+			names.DRAMWrites: 10.0,
 
 			// Control events.
-			"snapea.sign_checks":   0.004,
-			"mn.reconfigurations":  0.5,
-			"dram.row_activations": 2.0,
+			names.SNAPEASignChecks:   0.004,
+			names.MNReconfigurations: 0.5,
+			names.DRAMRowActivations: 2.0,
 		},
 		StaticPJPerCyclePerMS: 0.015,
 		StaticPJPerCycleGBKB:  0.004,

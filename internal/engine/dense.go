@@ -4,67 +4,40 @@ import (
 	"fmt"
 
 	"repro/internal/comp"
+	"repro/internal/comp/names"
 	"repro/internal/config"
 	"repro/internal/dn"
 	"repro/internal/mapper"
 	"repro/internal/mn"
 	"repro/internal/rn"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
-// jobSpec describes one reduction the controller expects to fire: virtual
-// neuron vn will have `expect` products tagged with step `seq`, reducing
-// into output element outIdx; `last` marks the final fold of that output.
-type jobSpec struct {
-	vn, seq, expect, outIdx int
-	last                    bool
-	// members, when non-nil, is the snapshot of the VN's switch set at
-	// schedule time — required when cluster shapes change between rounds
-	// (sparse controller). Nil falls back to the configured VN table.
-	members []int
+// flexDenseRunner is the MAERI-like composition: dense controller + tree
+// distribution + linear multiplier network + (accumulating) reduction tree.
+type flexDenseRunner struct {
+	hw config.Hardware
 }
 
-// workItem is one schedulable unit: a weight (re)load or one compute step.
-type workItem struct {
-	// barrier requires the switches in reloadSet to be quiescent (operand
-	// FIFOs and psum latches empty) and the DN drained before issuing —
-	// the stationary registers are about to be overwritten.
-	barrier   bool
-	reloadSet []int
-	// prefetch, when non-zero, starts a DRAM prefetch of that many
-	// elements for the following block (double buffering).
-	prefetch   int
-	deliveries []dn.Delivery
-	jobs       []jobSpec
-	// reconfig, when non-nil, reprograms the VN membership once the
-	// barrier has drained the fabric (sparse rounds change cluster shapes
-	// between rounds). It requires full quiescence, not just the
-	// reloadSet.
-	reconfig func() error
-}
-
-// itemSource generates work items on demand so full-model runs never
-// materialize their schedule up front.
-type itemSource interface {
-	next() (workItem, bool)
-}
-
-// flexRun drives the flexible dense pipeline: controller → DN → MN → RN,
-// one Cycle() each per simulated clock, with back-pressure everywhere.
+// flexRun drives the flexible pipeline: controller → DN → MN → RN, one
+// Cycle() each per simulated clock, with back-pressure everywhere. The
+// per-clock loop itself is the sim.Kernel; flexRun supplies the controller
+// behaviour, the tick order and the completion/progress probes.
 type flexRun struct {
-	*runCtx
+	*sim.Ctx
 	dnet dn.Network
 	marr *mn.Array
 	rnet *rn.Net
-	src  itemSource
+	src  sim.Source
 
-	cur      *workItem
+	cur      *sim.WorkItem
 	curDeliv int
 	issued   bool // some deliveries of cur already offered
 	srcDone  bool
 
-	pending     [][]jobSpec // per-VN FIFO of expected reductions
+	pending     [][]sim.JobSpec // per-VN FIFO of expected reductions
 	pendingJobs int
 	// readsPerDest: the Benes gather fetches one GB operand per
 	// destination; tree/systolic fabrics read a multicast value once.
@@ -89,9 +62,12 @@ type flexRun struct {
 	expected  int
 }
 
-func newFlexRun(ctx *runCtx, numVNs int, outLen, expected int) (*flexRun, error) {
-	hw := ctx.hw
-	dnet, err := dn.New(hw.DN.String(), hw.MSSize, hw.DNBandwidth, ctx.counters)
+// flexRun consumes reduction-network results — it is the run's sim.Sink.
+var _ sim.Sink = (*flexRun)(nil)
+
+func newFlexRun(ctx *sim.Ctx, numVNs int, outLen, expected int) (*flexRun, error) {
+	hw := ctx.HW
+	dnet, err := dn.New(hw.DN.String(), hw.MSSize, hw.DNBandwidth, ctx.Counters)
 	if err != nil {
 		return nil, err
 	}
@@ -107,25 +83,27 @@ func newFlexRun(ctx *runCtx, numVNs int, outLen, expected int) (*flexRun, error)
 		rkind = rn.Linear
 	}
 	f := &flexRun{
-		runCtx:      ctx,
+		Ctx:         ctx,
 		dnet:        dnet,
-		marr:        mn.NewArray(hw.MSSize, hw.FIFODepth, hw.MN == config.LinearMN, ctx.counters),
-		rnet:        rn.New(rkind, hw.MSSize, hw.RNBandwidth, ctx.counters),
-		pending:     make([][]jobSpec, numVNs),
+		marr:        mn.NewArray(hw.MSSize, hw.FIFODepth, hw.MN == config.LinearMN, ctx.Counters),
+		rnet:        rn.New(rkind, hw.MSSize, hw.RNBandwidth, ctx.Counters),
+		pending:     make([][]sim.JobSpec, numVNs),
 		out:         make([]float32, outLen),
 		expected:    expected,
-		cReloadWait: ctx.counters.Counter("ctrl.reload_wait_cycles"),
-		cDramWait:   ctx.counters.Counter("ctrl.dram_wait_cycles"),
+		cReloadWait: ctx.Counters.Counter(names.CtrlReloadWaitCycles),
+		cDramWait:   ctx.Counters.Counter(names.CtrlDRAMWaitCycles),
 	}
 	f.readsPerDest = hw.DN == config.BenesDN
 	f.dnet.SetSink(f.marr.Deliver)
 	f.dnet.SetProber(f.marr.CanDeliver)
-	f.rnet.SetSink(f.sink)
+	f.rnet.SetSink(f.Consume)
 	return f, nil
 }
 
-func (f *flexRun) sink(r rn.Result) {
-	f.gb.Write(1)
+// Consume scatters one reduced result into the output buffer and accounts
+// the Global Buffer write-back (sim.Sink).
+func (f *flexRun) Consume(r rn.Result) {
+	f.GB.Write(1)
 	if f.sumOut {
 		f.out[r.OutIdx] += r.Value
 		f.completed++
@@ -142,7 +120,7 @@ func (f *flexRun) sink(r rn.Result) {
 	if r.Last {
 		f.completed++
 	} else {
-		f.gb.Read(1) // psum re-fetch for the next fold
+		f.GB.Read(1) // psum re-fetch for the next fold
 	}
 }
 
@@ -165,22 +143,22 @@ func (f *flexRun) ctrlCycle() {
 		}
 		j := q[0]
 		var ready bool
-		if j.members != nil {
-			ready = f.marr.ReadyMembers(j.members, j.seq, j.expect)
+		if j.Members != nil {
+			ready = f.marr.ReadyMembers(j.Members, j.Seq, j.Expect)
 		} else {
-			ready = f.marr.ReadyVN(vn, j.seq, j.expect)
+			ready = f.marr.ReadyVN(vn, j.Seq, j.Expect)
 		}
-		if !ready || !f.rnet.CanAccept(j.expect) {
+		if !ready || !f.rnet.CanAccept(j.Expect) {
 			continue
 		}
-		members := j.members
+		members := j.Members
 		if members == nil {
 			members = f.marr.VNs()[vn]
 		}
 		// The RN folds Values before Offer returns, so the scratch buffer is
 		// free to reuse for the next VN in the same cycle.
-		f.valBuf, _ = f.marr.AppendPop(f.valBuf[:0], members, j.seq)
-		f.rnet.Offer(rn.Job{VN: vn, Seq: j.seq, Values: f.valBuf, OutIdx: j.outIdx, Last: j.last})
+		f.valBuf, _ = f.marr.AppendPop(f.valBuf[:0], members, j.Seq)
+		f.rnet.Offer(rn.Job{VN: vn, Seq: j.Seq, Values: f.valBuf, OutIdx: j.OutIdx, Last: j.Last})
 		// Copy-down pop keeps the per-VN queue's backing array.
 		nq := copy(q, q[1:])
 		f.pending[vn] = q[:nq]
@@ -190,7 +168,7 @@ func (f *flexRun) ctrlCycle() {
 	// 2. Issue schedule items.
 	for {
 		if f.cur == nil {
-			item, ok := f.src.next()
+			item, ok := f.src.Next()
 			if !ok {
 				f.srcDone = true
 				return
@@ -199,48 +177,48 @@ func (f *flexRun) ctrlCycle() {
 			f.curDeliv = 0
 			f.issued = false
 		}
-		if f.cur.barrier && !f.issued {
-			if f.dnet.Pending() > 0 || !f.marr.QuiescentSet(f.cur.reloadSet) {
+		if f.cur.Barrier && !f.issued {
+			if f.dnet.Pending() > 0 || !f.marr.QuiescentSet(f.cur.ReloadSet) {
 				f.cReloadWait.Add(1)
 				return
 			}
-			if f.cur.reconfig != nil && (f.pendingJobs > 0 || !f.marr.Idle()) {
+			if f.cur.Reconfig != nil && (f.pendingJobs > 0 || !f.marr.Idle()) {
 				f.cReloadWait.Add(1)
 				return
 			}
-			if stall := f.dram.StallCycles(float64(f.cycles)); stall > 0 {
+			if stall := f.DRAM.StallCycles(float64(f.Cycles)); stall > 0 {
 				f.cDramWait.Add(1)
 				return
 			}
-			if f.cur.reconfig != nil {
-				if err := f.cur.reconfig(); err != nil {
+			if f.cur.Reconfig != nil {
+				if err := f.cur.Reconfig(); err != nil {
 					f.fatal = err
 					return
 				}
-				f.cur.reconfig = nil
+				f.cur.Reconfig = nil
 			}
 		}
-		if f.cur.prefetch > 0 && !f.issued {
-			f.dram.BeginPrefetch(float64(f.cycles), f.cur.prefetch)
+		if f.cur.Prefetch > 0 && !f.issued {
+			f.DRAM.BeginPrefetch(float64(f.Cycles), f.cur.Prefetch)
 		}
-		for f.curDeliv < len(f.cur.deliveries) {
-			d := f.cur.deliveries[f.curDeliv]
+		for f.curDeliv < len(f.cur.Deliveries) {
+			d := f.cur.Deliveries[f.curDeliv]
 			if !f.dnet.Offer(d) {
 				f.issued = true
 				return // DN injection queue full; resume next cycle
 			}
 			if !d.Forward {
 				if f.readsPerDest {
-					f.gb.Read(len(d.Dests))
+					f.GB.Read(len(d.Dests))
 				} else {
-					f.gb.Read(1)
+					f.GB.Read(1)
 				}
 			}
 			f.curDeliv++
 			f.issued = true
 		}
-		for _, j := range f.cur.jobs {
-			f.pending[j.vn] = append(f.pending[j.vn], j)
+		for _, j := range f.cur.Jobs {
+			f.pending[j.VN] = append(f.pending[j.VN], j)
 			f.pendingJobs++
 		}
 		f.cur = nil
@@ -253,28 +231,26 @@ func (f *flexRun) done() bool {
 		f.dnet.Pending() == 0 && f.rnet.Drained() && f.marr.Idle()
 }
 
-// run executes the cycle loop to completion.
-func (f *flexRun) run() error {
-	lastProgress := f.cycles
-	lastState := -1
-	for !f.done() {
-		f.ctrlCycle()
-		if f.fatal != nil {
-			return f.fatal
-		}
-		f.dnet.Cycle()
-		f.marr.Cycle()
-		f.rnet.Cycle()
-		f.cycles++
+// deadlock renders the watchdog diagnostic with the run's stuck state.
+func (f *flexRun) deadlock(window uint64) error {
+	return fmt.Errorf("engine: no progress for %d cycles (completed %d/%d, pending jobs %d, dn pending %d)",
+		window, f.completed, f.expected, f.pendingJobs, f.dnet.Pending())
+}
 
-		if state := f.completed; state != lastState {
-			lastState = state
-			lastProgress = f.cycles
-		}
-		if f.cycles-lastProgress > deadlockWindow {
-			return fmt.Errorf("engine: no progress for %d cycles (completed %d/%d, pending jobs %d, dn pending %d)",
-				deadlockWindow, f.completed, f.expected, f.pendingJobs, f.dnet.Pending())
-		}
+// run executes the cycle kernel to completion: the controller acts, then
+// DN → MN → RN tick in pipeline order.
+func (f *flexRun) run() error {
+	k := &sim.Kernel{
+		Ctx:      f.Ctx,
+		Control:  f.ctrlCycle,
+		Ticks:    []sim.Tickable{f.dnet, f.marr, f.rnet},
+		Done:     f.done,
+		Progress: func() int { return f.completed },
+		Err:      func() error { return f.fatal },
+		Deadlock: f.deadlock,
+	}
+	if err := k.Run(); err != nil {
+		return err
 	}
 	f.marr.CollectFIFOStats()
 	return nil
@@ -303,11 +279,13 @@ type gemmSource struct {
 	exhausted           bool
 }
 
+var _ sim.Source = (*gemmSource)(nil)
+
 func newGEMMSource(A, B *tensor.Tensor, t mapper.GEMMTile) *gemmSource {
 	m, k := A.Dim(0), A.Dim(1)
 	n := B.Dim(1)
 	g := &gemmSource{A: A, B: B, m: m, n: n, k: k, t: t}
-	g.panelCols = maxAccEntries / t.TM
+	g.panelCols = sim.MaxAccEntries / t.TM
 	if g.panelCols < t.TN {
 		g.panelCols = t.TN
 	}
@@ -340,9 +318,9 @@ func (g *gemmSource) vns() [][]int {
 
 func (g *gemmSource) ms(i, j, p int) int { return (i*g.t.TN+j)*g.t.KSlice + p }
 
-func (g *gemmSource) next() (workItem, bool) {
+func (g *gemmSource) Next() (sim.WorkItem, bool) {
 	if g.exhausted {
-		return workItem{}, false
+		return sim.WorkItem{}, false
 	}
 	t := g.t
 	k0 := g.fold * t.KSlice
@@ -351,7 +329,7 @@ func (g *gemmSource) next() (workItem, bool) {
 	if g.phase == 0 {
 		// Weight load for (mb, fold): row slices A[mi, k0:k0+kw],
 		// multicast across the TN column replicas.
-		item := workItem{barrier: true}
+		item := sim.WorkItem{Barrier: true}
 		for i := 0; i < t.TM; i++ {
 			mi := g.mb*t.TM + i
 			if mi >= g.m {
@@ -362,15 +340,15 @@ func (g *gemmSource) next() (workItem, bool) {
 				for j := 0; j < t.TN; j++ {
 					dests = append(dests, g.ms(i, j, p))
 				}
-				item.reloadSet = append(item.reloadSet, dests...)
-				item.deliveries = append(item.deliveries, dn.Delivery{
+				item.ReloadSet = append(item.ReloadSet, dests...)
+				item.Deliveries = append(item.Deliveries, dn.Delivery{
 					Pkt:   comp.Packet{Value: g.A.At(mi, k0+p), Kind: comp.WeightPkt},
 					Dests: dests,
 				})
 			}
 		}
 		// Prefetch the next fold's weights while this fold computes.
-		item.prefetch = t.TM * t.KSlice
+		item.Prefetch = t.TM * t.KSlice
 		g.phase = 1
 		g.ng = 0
 		return item, true
@@ -378,7 +356,7 @@ func (g *gemmSource) next() (workItem, bool) {
 
 	// Stream one column group.
 	colBase := g.panel*g.panelCols + g.ng*t.TN
-	item := workItem{}
+	item := sim.WorkItem{}
 	seq := g.seq
 	g.seq++
 	for j := 0; j < t.TN; j++ {
@@ -397,7 +375,7 @@ func (g *gemmSource) next() (workItem, bool) {
 			if len(dests) == 0 {
 				continue
 			}
-			item.deliveries = append(item.deliveries, dn.Delivery{
+			item.Deliveries = append(item.Deliveries, dn.Delivery{
 				Pkt:   comp.Packet{Value: g.B.At(k0+p, nj), Kind: comp.InputPkt, Seq: seq},
 				Dests: dests,
 			})
@@ -407,10 +385,10 @@ func (g *gemmSource) next() (workItem, bool) {
 			if mi >= g.m {
 				continue
 			}
-			item.jobs = append(item.jobs, jobSpec{
-				vn: i*t.TN + j, seq: seq, expect: kw,
-				outIdx: mi*g.n + nj,
-				last:   g.fold == ceilDiv(g.k, t.KSlice)-1,
+			item.Jobs = append(item.Jobs, sim.JobSpec{
+				VN: i*t.TN + j, Seq: seq, Expect: kw,
+				OutIdx: mi*g.n + nj,
+				Last:   g.fold == ceilDiv(g.k, t.KSlice)-1,
 			})
 		}
 	}
@@ -436,27 +414,27 @@ func (g *gemmSource) next() (workItem, bool) {
 	return item, true
 }
 
-// runFlexDenseGEMM simulates a dense GEMM on the tree-based flexible
-// fabric (the MAERI-like composition). The controller keeps the operand
-// with more reuse stationary: A rows are each reused N times and B columns
-// M times, so when M > N the GEMM runs transposed (Cᵀ = Bᵀ×Aᵀ), making the
-// execution input-stationary — this is how batch-1 fully-connected layers
-// avoid a stationary reload per output row (the dense controller's
-// WS/IS dataflow selection of Section IV-B). Configurations with
-// ForceDataflow pin the choice instead.
-func (a *Accelerator) runFlexDenseGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+// RunGEMM simulates a dense GEMM on the tree-based flexible fabric (the
+// MAERI-like composition). The controller keeps the operand with more reuse
+// stationary: A rows are each reused N times and B columns M times, so when
+// M > N the GEMM runs transposed (Cᵀ = Bᵀ×Aᵀ), making the execution
+// input-stationary — this is how batch-1 fully-connected layers avoid a
+// stationary reload per output row (the dense controller's WS/IS dataflow
+// selection of Section IV-B). Configurations with ForceDataflow pin the
+// choice instead.
+func (r *flexDenseRunner) RunGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
 	inputStationary := A.Dim(0) > B.Dim(1)
-	if a.hw.ForceDataflow {
-		inputStationary = a.hw.Dataflow == config.InputStationary
+	if r.hw.ForceDataflow {
+		inputStationary = r.hw.Dataflow == config.InputStationary
 	}
 	if inputStationary {
-		Ct, run, err := a.flexDenseGEMMWS(transposed(B), transposed(A), layer)
+		Ct, run, err := r.gemmWS(transposed(B), transposed(A), layer)
 		if err != nil {
 			return nil, nil, err
 		}
 		return transposed(Ct), run, nil
 	}
-	return a.flexDenseGEMMWS(A, B, layer)
+	return r.gemmWS(A, B, layer)
 }
 
 func transposed(t *tensor.Tensor) *tensor.Tensor {
@@ -470,16 +448,16 @@ func transposed(t *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// flexDenseGEMMWS is the weight-stationary execution: A row slices stay in
-// the switches while B columns stream.
-func (a *Accelerator) flexDenseGEMMWS(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+// gemmWS is the weight-stationary execution: A row slices stay in the
+// switches while B columns stream.
+func (r *flexDenseRunner) gemmWS(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
 	m, k := A.Dim(0), A.Dim(1)
 	n := B.Dim(1)
-	tile, err := mapper.PickGEMM(&a.hw, m, n, k)
+	tile, err := mapper.PickGEMM(&r.hw, m, n, k)
 	if err != nil {
 		return nil, nil, err
 	}
-	ctx := newRunCtx(&a.hw)
+	ctx := sim.NewCtx(&r.hw)
 	src := newGEMMSource(A, B, tile)
 	f, err := newFlexRun(ctx, tile.TM*tile.TN, m*n, src.expectedOutputs())
 	if err != nil {
@@ -489,16 +467,16 @@ func (a *Accelerator) flexDenseGEMMWS(A, B *tensor.Tensor, layer string) (*tenso
 		return nil, nil, err
 	}
 	f.src = src
-	ctx.initialFill(m*k + k*n)
+	ctx.InitialFill(m*k + k*n)
 	if err := f.run(); err != nil {
-		return nil, nil, fmt.Errorf("engine: %s GEMM %s (%dx%dx%d): %w", a.hw.Name, layer, m, n, k, err)
+		return nil, nil, fmt.Errorf("engine: %s GEMM %s (%dx%dx%d): %w", r.hw.Name, layer, m, n, k, err)
 	}
-	ctx.dram.WriteBack(m * n)
+	ctx.DRAM.WriteBack(m * n)
 	C, err := tensor.FromSlice(f.out, m, n)
 	if err != nil {
 		return nil, nil, err
 	}
-	run := ctx.finish("GEMM", layer, m, n, k)
+	run := ctx.Finish("GEMM", layer, m, n, k)
 	return C, run, nil
 }
 

@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"repro/internal/comp"
-	"repro/internal/config"
 	"repro/internal/dn"
 	"repro/internal/mapper"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
@@ -48,6 +48,8 @@ type convSource struct {
 	coordH int // padded column count (X + 2·padding)
 }
 
+var _ sim.Source = (*convSource)(nil)
+
 func newConvSource(in, w *tensor.Tensor, cs tensor.ConvShape, t mapper.Tile, forwarding bool) *convSource {
 	c := &convSource{
 		in: in, w: w, cs: cs, t: t,
@@ -64,7 +66,7 @@ func newConvSource(in, w *tensor.Tensor, cs tensor.ConvShape, t mapper.Tile, for
 	c.slot = make([]int32, cells)
 	c.groupsPerRow = ceilDiv(c.yo, t.TYp)
 	totalGroups := c.xo * c.groupsPerRow
-	c.panelGroups = maxAccEntries / (t.TK * t.TYp)
+	c.panelGroups = sim.MaxAccEntries / (t.TK * t.TYp)
 	if c.panelGroups < 1 {
 		c.panelGroups = 1
 	}
@@ -104,9 +106,9 @@ func (c *convSource) decode(p int) (tc, tr, ts int) {
 
 func (c *convSource) mblocks() int { return ceilDiv(c.kg, c.t.TK) }
 
-func (c *convSource) next() (workItem, bool) {
+func (c *convSource) Next() (sim.WorkItem, bool) {
 	if c.exhausted {
-		return workItem{}, false
+		return sim.WorkItem{}, false
 	}
 	t := c.t
 	cw := min(t.TC, c.cg-c.fold*t.TC) // channels in this fold
@@ -114,7 +116,7 @@ func (c *convSource) next() (workItem, bool) {
 	if c.phase == 0 {
 		// Weight load for (g, mb, fold): each filter's slice multicast to
 		// its TYp position replicas.
-		item := workItem{barrier: true}
+		item := sim.WorkItem{Barrier: true}
 		for kk := 0; kk < t.TK; kk++ {
 			kfull := c.g*c.kg + c.mb*t.TK + kk
 			if c.mb*t.TK+kk >= c.kg {
@@ -129,8 +131,8 @@ func (c *convSource) next() (workItem, bool) {
 				for ty := 0; ty < t.TYp; ty++ {
 					dests = append(dests, c.ms(kk, ty, p))
 				}
-				item.reloadSet = append(item.reloadSet, dests...)
-				item.deliveries = append(item.deliveries, dn.Delivery{
+				item.ReloadSet = append(item.ReloadSet, dests...)
+				item.Deliveries = append(item.Deliveries, dn.Delivery{
 					Pkt: comp.Packet{
 						Value: c.w.At(kfull, c.fold*t.TC+tc, tr, ts),
 						Kind:  comp.WeightPkt,
@@ -139,7 +141,7 @@ func (c *convSource) next() (workItem, bool) {
 				})
 			}
 		}
-		item.prefetch = t.TK * t.VNSize
+		item.Prefetch = t.TK * t.VNSize
 		c.phase = 1
 		c.prevOx = -1 // a reload breaks the sliding-window reuse chain
 		return item, true
@@ -150,7 +152,7 @@ func (c *convSource) next() (workItem, bool) {
 	ox := grpAbs / c.groupsPerRow
 	oyBase := (grpAbs % c.groupsPerRow) * t.TYp
 
-	item := workItem{}
+	item := sim.WorkItem{}
 	seq := c.seq
 	c.seq++
 
@@ -180,20 +182,20 @@ func (c *convSource) next() (workItem, bool) {
 			if c.seen[idx] != curGen {
 				reused := sameRow && c.seen[idx] == prevGen
 				c.seen[idx] = curGen
-				slot = int32(len(item.deliveries))
+				slot = int32(len(item.Deliveries))
 				c.slot[idx] = slot
 				var v float32
 				if ix >= 0 && ix < c.cs.X && iy >= 0 && iy < c.cs.Y {
 					v = c.in.At(0, cc, ix, iy)
 				}
-				item.deliveries = append(item.deliveries, dn.Delivery{
+				item.Deliveries = append(item.Deliveries, dn.Delivery{
 					Pkt:     comp.Packet{Value: v, Kind: comp.InputPkt, Seq: seq},
 					Forward: reused,
 				})
 			} else {
 				slot = c.slot[idx]
 			}
-			d := &item.deliveries[slot]
+			d := &item.Deliveries[slot]
 			for kk := 0; kk < t.TK; kk++ {
 				if c.mb*t.TK+kk >= c.kg {
 					continue
@@ -223,10 +225,10 @@ func (c *convSource) next() (workItem, bool) {
 			}
 			// expect[vn] counted one product per member switch with a
 			// valid channel slice — exactly the set that will latch.
-			item.jobs = append(item.jobs, jobSpec{
-				vn: vn, seq: seq, expect: expect[vn],
-				outIdx: (kfull*c.xo+ox)*c.yo + oy,
-				last:   c.fold == c.folds-1,
+			item.Jobs = append(item.Jobs, sim.JobSpec{
+				VN: vn, Seq: seq, Expect: expect[vn],
+				OutIdx: (kfull*c.xo+ox)*c.yo + oy,
+				Last:   c.fold == c.folds-1,
 			})
 		}
 	}
@@ -256,32 +258,29 @@ func (c *convSource) next() (workItem, bool) {
 	return item, true
 }
 
-// runFlexDenseConv simulates a convolution on the tree-based flexible
-// fabric with sliding-window forwarding, using the mapper's tile choice.
-func (a *Accelerator) runFlexDenseConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
-	if cs.R*cs.S > a.hw.MSSize {
+// RunConv simulates a convolution on the tree-based flexible fabric with
+// sliding-window forwarding, using the mapper's tile choice.
+func (r *flexDenseRunner) RunConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	if cs.R*cs.S > r.hw.MSSize {
 		return nil, nil, fmt.Errorf("engine: filter window %dx%d exceeds the %d-switch fabric (fold-over-window is not supported by the dense controller)",
-			cs.R, cs.S, a.hw.MSSize)
+			cs.R, cs.S, r.hw.MSSize)
 	}
-	tile, err := mapper.PickConv(&a.hw, cs)
+	tile, err := mapper.PickConv(&r.hw, cs)
 	if err != nil {
 		return nil, nil, err
 	}
-	return a.RunConvTiled(in, w, cs, layer, tile)
+	return r.RunConvTiled(in, w, cs, layer, tile)
 }
 
 // RunConvTiled runs a convolution with an explicit user-supplied tile — in
 // STONNE, the tile configuration for every layer is part of the model
 // modifications (Fig. 2d); the mapper only provides a default.
-func (a *Accelerator) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, tile mapper.Tile) (*tensor.Tensor, *stats.Run, error) {
-	if a.hw.Ctrl != config.DenseCtrl || a.hw.DN == config.PointToPointDN {
-		return nil, nil, fmt.Errorf("engine: explicit tiles target the flexible dense composition, have %v/%v", a.hw.Ctrl, a.hw.DN)
-	}
+func (r *flexDenseRunner) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, tile mapper.Tile) (*tensor.Tensor, *stats.Run, error) {
 	if err := tile.Validate(cs); err != nil {
 		return nil, nil, err
 	}
-	if tile.UsedMultipliers > a.hw.MSSize {
-		return nil, nil, fmt.Errorf("engine: tile uses %d multipliers, fabric has %d", tile.UsedMultipliers, a.hw.MSSize)
+	if tile.UsedMultipliers > r.hw.MSSize {
+		return nil, nil, fmt.Errorf("engine: tile uses %d multipliers, fabric has %d", tile.UsedMultipliers, r.hw.MSSize)
 	}
 	if tile.TG != 1 || tile.TN != 1 {
 		return nil, nil, fmt.Errorf("engine: group/batch tile parallelism is not supported (T_G=%d, T_N=%d)", tile.TG, tile.TN)
@@ -292,8 +291,8 @@ func (a *Accelerator) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape, la
 		tile.TYp *= tile.TXp
 		tile.TXp = 1
 	}
-	ctx := newRunCtx(&a.hw)
-	src := newConvSource(in, w, cs, tile, a.hw.MN.String() == "LMN")
+	ctx := sim.NewCtx(&r.hw)
+	src := newConvSource(in, w, cs, tile, r.hw.MN.String() == "LMN")
 	f, err := newFlexRun(ctx, tile.TK*tile.TYp, cs.K*src.xo*src.yo, src.expectedOutputs())
 	if err != nil {
 		return nil, nil, err
@@ -302,16 +301,16 @@ func (a *Accelerator) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape, la
 		return nil, nil, err
 	}
 	f.src = src
-	ctx.initialFill(in.Len() + w.Len())
+	ctx.InitialFill(in.Len() + w.Len())
 	if err := f.run(); err != nil {
-		return nil, nil, fmt.Errorf("engine: %s CONV %s: %w", a.hw.Name, layer, err)
+		return nil, nil, fmt.Errorf("engine: %s CONV %s: %w", r.hw.Name, layer, err)
 	}
-	ctx.dram.WriteBack(cs.K * src.xo * src.yo)
+	ctx.DRAM.WriteBack(cs.K * src.xo * src.yo)
 	out, err := tensor.FromSlice(f.out, 1, cs.K, src.xo, src.yo)
 	if err != nil {
 		return nil, nil, err
 	}
 	m, n, k := cs.GEMMDims()
-	run := ctx.finish("CONV", layer, m, n, k)
+	run := ctx.Finish("CONV", layer, m, n, k)
 	return out, run, nil
 }

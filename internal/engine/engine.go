@@ -4,43 +4,69 @@
 // cycle. It provides the four compositions of the paper: TPU-like
 // (systolic), MAERI-like (flexible dense), SIGMA-like (flexible sparse) and
 // SNAPEA-like (data-dependent early termination).
+//
+// Each composition is a sim.Runner registered with the architecture
+// registry (see register.go); the Accelerator facade resolves the runner
+// for a configuration once at construction, so adding a fifth architecture
+// is one registration — no dispatch code changes anywhere above.
 package engine
 
 import (
 	"fmt"
 
-	"repro/internal/comp"
 	"repro/internal/config"
-	"repro/internal/mem"
+	"repro/internal/mapper"
+	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
 // Accelerator is one configured instance of the simulation engine — what
-// the STONNE API's CreateInstance returns.
+// the STONNE API's CreateInstance returns. It is a thin facade over the
+// runner the architecture registry resolved for the configuration.
 type Accelerator struct {
-	hw config.Hardware
+	hw     config.Hardware
+	arch   *sim.Arch
+	runner sim.Runner
 }
 
-// New validates the configuration and builds an accelerator instance.
+// New validates the configuration, resolves its architecture from the
+// registry and builds the accelerator instance.
 func New(hw config.Hardware) (*Accelerator, error) {
 	if err := hw.Validate(); err != nil {
 		return nil, err
 	}
-	return &Accelerator{hw: hw}, nil
+	arch, err := sim.Resolve(hw)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := arch.Build(hw)
+	if err != nil {
+		return nil, err
+	}
+	return &Accelerator{hw: hw, arch: arch, runner: runner}, nil
 }
 
 // HW returns the hardware configuration.
 func (a *Accelerator) HW() config.Hardware { return a.hw }
 
-// deadlockWindow is the number of cycles without any observable progress
-// after which a run aborts with a diagnostic instead of spinning forever —
-// a controller bug, not a valid hardware state.
-const deadlockWindow = 200_000
+// Arch returns the registry name of the resolved architecture.
+func (a *Accelerator) Arch() string { return a.arch.Name }
 
-// maxAccEntries bounds the accumulation-buffer working set; schedulers
-// panelize output sweeps so folds never need more in-flight partial sums.
-const maxAccEntries = 4096
+// SupportsScheduling reports whether the accelerator runs the sparse
+// controller, i.e. filter-scheduling policies and SpMM apply.
+func (a *Accelerator) SupportsScheduling() bool {
+	_, ok := a.runner.(*sparseRunner)
+	return ok
+}
+
+// SupportsEarlyCut reports whether the accelerator is the SNAPEA
+// composition with the data-dependent early-termination logic.
+func (a *Accelerator) SupportsEarlyCut() bool {
+	_, ok := a.runner.(*snapeaRunner)
+	return ok
+}
 
 // RunGEMM executes C = A(M×K) × B(K×N) densely on the configured fabric
 // and returns the result with per-run statistics.
@@ -48,23 +74,7 @@ func (a *Accelerator) RunGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor
 	if A.Rank() != 2 || B.Rank() != 2 || A.Dim(1) != B.Dim(0) {
 		return nil, nil, fmt.Errorf("engine: GEMM shape mismatch %v × %v", A.Shape(), B.Shape())
 	}
-	switch a.hw.Ctrl {
-	case config.DenseCtrl:
-		if a.hw.DN == config.PointToPointDN {
-			return a.runSystolicGEMM(A, B, layer)
-		}
-		return a.runFlexDenseGEMM(A, B, layer)
-	case config.SparseCtrl:
-		// The sparse controller runs every GEMM through its bitmap/CSR
-		// front end; dense operands simply have full bitmaps.
-		return a.RunSpMM(A, B, layer, nil)
-	case config.SNAPEACtrl:
-		// SNAPEA's sign-sorting targets convolutions; fully-connected
-		// layers run on the same dot-product lanes without cutting.
-		return a.runSNAPEAGEMM(A, B, layer)
-	default:
-		return nil, nil, fmt.Errorf("engine: unknown controller %v", a.hw.Ctrl)
-	}
+	return a.runner.RunGEMM(A, B, layer)
 }
 
 // RunConv executes a convolution (input NCHW, weights KCRS) and returns the
@@ -73,72 +83,53 @@ func (a *Accelerator) RunConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer s
 	if err := cs.Validate(); err != nil {
 		return nil, nil, err
 	}
-	switch a.hw.Ctrl {
-	case config.DenseCtrl:
-		if a.hw.DN == config.PointToPointDN {
-			return a.runSystolicConv(in, w, cs, layer)
-		}
-		return a.runFlexDenseConv(in, w, cs, layer)
-	case config.SparseCtrl:
-		return a.runSparseConv(in, w, cs, layer)
-	case config.SNAPEACtrl:
-		return a.runSNAPEAConv(in, w, cs, layer)
-	default:
-		return nil, nil, fmt.Errorf("engine: unknown controller %v", a.hw.Ctrl)
-	}
+	return a.runner.RunConv(in, w, cs, layer)
 }
 
-// runCtx bundles the per-run state shared by all engines.
-type runCtx struct {
-	hw       *config.Hardware
-	counters *comp.Counters
-	gb       *mem.GlobalBuffer
-	dram     *mem.DRAM
-	cycles   uint64
+// RunConvTiled runs a convolution with an explicit user-supplied tile — in
+// STONNE, the tile configuration for every layer is part of the model
+// modifications (Fig. 2d); the mapper only provides a default.
+func (a *Accelerator) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, tile mapper.Tile) (*tensor.Tensor, *stats.Run, error) {
+	fr, ok := a.runner.(*flexDenseRunner)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: explicit tiles target the flexible dense composition, have %v/%v", a.hw.Ctrl, a.hw.DN)
+	}
+	return fr.RunConvTiled(in, w, cs, layer, tile)
 }
 
-func newRunCtx(hw *config.Hardware) *runCtx {
-	c := comp.NewCounters()
-	return &runCtx{
-		hw:       hw,
-		counters: c,
-		gb:       mem.NewGlobalBuffer(hw, c),
-		dram:     mem.NewDRAM(hw, c),
+// RunSpMM executes C = A×B where A is treated as sparse (bitmap or CSR
+// front format per the configuration) and zeros in B are skipped. policy
+// selects the filter scheduling strategy of use case 3 (nil = NS).
+func (a *Accelerator) RunSpMM(A, B *tensor.Tensor, layer string, policy *sched.Policy) (*tensor.Tensor, *stats.Run, error) {
+	sr, ok := a.runner.(*sparseRunner)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: RunSpMM requires the sparse controller, have %v", a.hw.Ctrl)
 	}
+	return sr.RunSpMM(A, B, layer, policy)
 }
 
-// finish assembles the Run record.
-func (r *runCtx) finish(op, layer string, m, n, k int) *stats.Run {
-	mults := r.counters.Get("mn.mults")
-	util := 0.0
-	if r.cycles > 0 {
-		util = float64(mults) / (float64(r.cycles) * float64(r.hw.MSSize))
-	}
-	return &stats.Run{
-		Accelerator: r.hw.Name,
-		Op:          op,
-		Layer:       layer,
-		M:           m, N: n, K: k,
-		Cycles:      r.cycles,
-		MACs:        mults,
-		MemAccesses: r.counters.Get("gb.reads") + r.counters.Get("gb.writes"),
-		Utilization: util,
-		Counters:    r.counters.Snapshot(),
-	}
+// RunSpMMScheduled is RunSpMM with an explicit policy value (convenience
+// for the scheduling study).
+func (a *Accelerator) RunSpMMScheduled(A, B *tensor.Tensor, layer string, policy sched.Policy) (*tensor.Tensor, *stats.Run, error) {
+	return a.RunSpMM(A, B, layer, &policy)
 }
 
-// initialFill charges the unavoidable DRAM latency of streaming the first
-// working set into the Global Buffer before compute can start; later
-// transfers double-buffer behind compute.
-func (r *runCtx) initialFill(elems int) {
-	if r.hw.Preloaded {
-		return
+// RunConvScheduled runs a convolution on the sparse controller with an
+// explicit filter-scheduling policy (use case 3: the prior-simulation
+// function reorders the filters, the sparse controller issues them in that
+// order).
+func (a *Accelerator) RunConvScheduled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, pol sched.Policy) (*tensor.Tensor, *stats.Run, error) {
+	sr, ok := a.runner.(*sparseRunner)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: filter scheduling requires the sparse controller, have %v", a.hw.Ctrl)
 	}
-	half := r.gb.CapacityElems() / 2 // double-buffered halves
-	if elems > half {
-		elems = half
-	}
-	fill := uint64(r.dram.FetchCycles(elems))
-	r.cycles += fill
-	r.counters.Add("dram.initial_fill_cycles", fill)
+	return sr.RunConvScheduled(in, w, cs, layer, pol)
+}
+
+// RunSNAPEAConv runs a convolution on the SNAPEA dot-product lane model
+// regardless of the configured composition — the SNAPEA-vs-Baseline
+// comparison runs both variants on the same configuration. cut selects
+// whether the early-termination logic is active.
+func (a *Accelerator) RunSNAPEAConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, cut bool) (*tensor.Tensor, *stats.Run, error) {
+	return runSNAPEAConv(&a.hw, in, w, cs, layer, cut)
 }

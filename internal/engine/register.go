@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// The four compositions of Table IV register themselves with the
+// architecture registry. Order matters only for Resolve ties: the systolic
+// composition (dense controller + point-to-point DN) registers before the
+// broader flexible dense match. Adding a fifth architecture is adding one
+// sim.Register call here plus its runner file — nothing above the engine
+// changes.
+func init() {
+	sim.Register(sim.Arch{
+		Name:        "tpu",
+		Title:       "TPU-systolic",
+		Description: "rigid output-stationary systolic array (dense ctrl + PoPN + LMN + LRN)",
+		Matches: func(hw config.Hardware) bool {
+			return hw.Ctrl == config.DenseCtrl && hw.DN == config.PointToPointDN
+		},
+		Preset: func(ms, _ int) config.Hardware { return config.TPULike(ms) },
+		Build: func(hw config.Hardware) (sim.Runner, error) {
+			return &systolicRunner{hw: hw}, nil
+		},
+	})
+	sim.Register(sim.Arch{
+		Name:        "maeri",
+		Title:       "MAERI-flex-dense",
+		Description: "flexible dense tree fabric (dense ctrl + TN + LMN + ART+ACC)",
+		Matches: func(hw config.Hardware) bool {
+			return hw.Ctrl == config.DenseCtrl && hw.DN != config.PointToPointDN
+		},
+		Preset: config.MAERILike,
+		Build: func(hw config.Hardware) (sim.Runner, error) {
+			return &flexDenseRunner{hw: hw}, nil
+		},
+	})
+	sim.Register(sim.Arch{
+		Name:        "sigma",
+		Title:       "SIGMA-sparse",
+		Description: "flexible sparse fabric (sparse ctrl + BN + DMN + FAN)",
+		Matches:     func(hw config.Hardware) bool { return hw.Ctrl == config.SparseCtrl },
+		Preset:      config.SIGMALike,
+		Build: func(hw config.Hardware) (sim.Runner, error) {
+			return &sparseRunner{hw: hw}, nil
+		},
+	})
+	sim.Register(sim.Arch{
+		Name:        "snapea",
+		Title:       "SNAPEA",
+		Description: "dot-product lanes with sign-sorted early termination (use case 2)",
+		Matches:     func(hw config.Hardware) bool { return hw.Ctrl == config.SNAPEACtrl },
+		Preset:      config.SNAPEALike,
+		Build: func(hw config.Hardware) (sim.Runner, error) {
+			return &snapeaRunner{hw: hw}, nil
+		},
+	})
+}

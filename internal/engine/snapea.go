@@ -4,23 +4,30 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/comp/names"
+	"repro/internal/config"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
-// The SNAPEA-like composition (use case 2, Section VI-B) extends the dense
-// back end with SnaPEA's data-dependent optimization: filter weights are
-// statically reordered by sign at "compile" time (positives first), an
-// index table matches each reordered weight with its activation, and the
-// accumulation logic performs a single-bit sign check on the running
-// partial sum — once it drops to or below zero with only negative weights
-// remaining, the output is inevitably zeroed by the following ReLU, so the
-// rest of the computation and its memory accesses are cut off (exact mode).
+// snapeaRunner is the SNAPEA-like composition (use case 2, Section VI-B):
+// the dense back end extended with SnaPEA's data-dependent optimization.
+// Filter weights are statically reordered by sign at "compile" time
+// (positives first), an index table matches each reordered weight with its
+// activation, and the accumulation logic performs a single-bit sign check
+// on the running partial sum — once it drops to or below zero with only
+// negative weights remaining, the output is inevitably zeroed by the
+// following ReLU, so the rest of the computation and its memory accesses
+// are cut off (exact mode).
 //
 // The microarchitecture is an output-stationary array of dot-product
 // lanes: each of the MSSize processing elements owns one output neuron at
 // a time and performs one MAC per cycle, picking up the next neuron from
 // the work queue when it finishes or cuts.
+type snapeaRunner struct {
+	hw config.Hardware
+}
 
 // snapeaFilter is one filter's sign-sorted non-zero weights plus the index
 // table locating each weight's activation.
@@ -89,26 +96,36 @@ type snapeaPE struct {
 	psum   float32
 }
 
-// RunSNAPEAConv runs a convolution on the SNAPEA-like accelerator. cut
+// RunConv is the dense-dispatch target; without framework knowledge of
+// the following layer it conservatively enables cutting, which is sound
+// for conv+ReLU CNNs (the architecture's target domain).
+func (r *snapeaRunner) RunConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	return runSNAPEAConv(&r.hw, in, w, cs, layer, true)
+}
+
+// runSNAPEAConv runs a convolution on the SNAPEA dot-product lanes. cut
 // selects whether the early-termination logic is active (false models the
 // paper's "Baseline", which is the same architecture without the negative
 // detection logic). cut must only be enabled for layers whose output feeds
 // a ReLU with non-negative inputs — the exact-mode soundness condition.
-func (a *Accelerator) RunSNAPEAConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, cut bool) (*tensor.Tensor, *stats.Run, error) {
+// It is a free function over the hardware configuration because the lane
+// model applies to any fabric's multiplier budget: the SNAPEA-vs-Baseline
+// comparison runs both variants on the same configuration.
+func runSNAPEAConv(hw *config.Hardware, in, w *tensor.Tensor, cs tensor.ConvShape, layer string, cut bool) (*tensor.Tensor, *stats.Run, error) {
 	if err := cs.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if cs.N != 1 {
 		return nil, nil, fmt.Errorf("engine: SNAPEA models batch-1 inference, got N=%d", cs.N)
 	}
-	ctx := newRunCtx(&a.hw)
+	ctx := sim.NewCtx(hw)
 	filters := buildSNAPEAFilters(w, cs)
 	// The reordering table itself is read once per layer.
 	var tableElems int
 	for k := range filters {
 		tableElems += len(filters[k].offsets)
 	}
-	ctx.counters.Add("gb.meta_reads", uint64(tableElems))
+	ctx.Counters.Add(names.GBMetaReads, uint64(tableElems))
 
 	xo, yo := cs.OutX(), cs.OutY()
 	out := tensor.New(1, cs.K, xo, yo)
@@ -140,7 +157,7 @@ func (a *Accelerator) RunSNAPEAConv(in, w *tensor.Tensor, cs tensor.ConvShape, l
 		return k, ox, oy, true
 	}
 
-	pes := make([]snapeaPE, a.hw.MSSize)
+	pes := make([]snapeaPE, hw.MSSize)
 	var mults, reads, writes, signChecks, cuts, savedMACs uint64
 	inX, inY := cs.X, cs.Y
 
@@ -201,40 +218,33 @@ func (a *Accelerator) RunSNAPEAConv(in, w *tensor.Tensor, cs tensor.ConvShape, l
 			reads += 2 // one weight, one activation (via the index table)
 		}
 		if activeAny {
-			ctx.cycles++
+			ctx.Cycles++
 		}
 	}
 
-	ctx.counters.Add("mn.mults", mults)
-	ctx.counters.Add("rn.adders_lrn", mults)
-	ctx.counters.Add("gb.reads", reads)
-	ctx.counters.Add("gb.writes", writes)
-	ctx.counters.Add("dn.link_traversals", reads)
-	ctx.counters.Add("snapea.sign_checks", signChecks)
-	ctx.counters.Add("snapea.cuts", cuts)
-	ctx.counters.Add("snapea.saved_macs", savedMACs)
-	ctx.dram.WriteBack(cs.K * xo * yo)
+	ctx.Counters.Add(names.MNMults, mults)
+	ctx.Counters.Add(names.RNAddersLRN, mults)
+	ctx.Counters.Add(names.GBReads, reads)
+	ctx.Counters.Add(names.GBWrites, writes)
+	ctx.Counters.Add(names.DNLinkTraversals, reads)
+	ctx.Counters.Add(names.SNAPEASignChecks, signChecks)
+	ctx.Counters.Add(names.SNAPEACuts, cuts)
+	ctx.Counters.Add(names.SNAPEASavedMACs, savedMACs)
+	ctx.DRAM.WriteBack(cs.K * xo * yo)
 
 	m, n, kk := cs.GEMMDims()
-	run := ctx.finish("CONV", layer, m, n, kk)
+	run := ctx.Finish("CONV", layer, m, n, kk)
 	return out, run, nil
 }
 
-// runSNAPEAConv is the RunConv dispatch target; without framework
-// knowledge of the following layer it conservatively enables cutting,
-// which is sound for conv+ReLU CNNs (the architecture's target domain).
-func (a *Accelerator) runSNAPEAConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
-	return a.RunSNAPEAConv(in, w, cs, layer, true)
-}
-
-// runSNAPEAGEMM executes C = A×B on the same output-stationary dot-product
+// RunGEMM executes C = A×B on the same output-stationary dot-product
 // lanes the convolutions use: each lane owns one output element at a time
 // and performs one MAC per cycle over the non-zero A row entries. The
 // sign-sorting/early-cut machinery stays off — SnaPEA applies it to
 // convolutions only — so this is how both the SNAPEA and Baseline versions
 // run the fully-connected layers.
-func (a *Accelerator) runSNAPEAGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
-	ctx := newRunCtx(&a.hw)
+func (sr *snapeaRunner) RunGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	ctx := sim.NewCtx(&sr.hw)
 	m, k := A.Dim(0), A.Dim(1)
 	n := B.Dim(1)
 	// Non-zero entries per row, gathered once (the weights are static).
@@ -255,7 +265,7 @@ func (a *Accelerator) runSNAPEAGEMM(A, B *tensor.Tensor, layer string) (*tensor.
 
 	C := tensor.New(m, n)
 	cd, bd := C.Data(), B.Data()
-	lanes := a.hw.MSSize
+	lanes := sr.hw.MSSize
 
 	// Work queue over (i, j) output elements; lanes pick up the next when
 	// they finish, so the makespan is the greedy schedule's.
@@ -304,14 +314,14 @@ func (a *Accelerator) runSNAPEAGEMM(A, B *tensor.Tensor, layer string) (*tensor.
 			reads += 2
 		}
 		if active {
-			ctx.cycles++
+			ctx.Cycles++
 		}
 	}
-	ctx.counters.Add("mn.mults", mults)
-	ctx.counters.Add("rn.adders_lrn", mults)
-	ctx.counters.Add("gb.reads", reads)
-	ctx.counters.Add("gb.writes", writes)
-	ctx.counters.Add("dn.link_traversals", reads)
-	ctx.dram.WriteBack(m * n)
-	return C, ctx.finish("GEMM", layer, m, n, k), nil
+	ctx.Counters.Add(names.MNMults, mults)
+	ctx.Counters.Add(names.RNAddersLRN, mults)
+	ctx.Counters.Add(names.GBReads, reads)
+	ctx.Counters.Add(names.GBWrites, writes)
+	ctx.Counters.Add(names.DNLinkTraversals, reads)
+	ctx.DRAM.WriteBack(m * n)
+	return C, ctx.Finish("GEMM", layer, m, n, k), nil
 }

@@ -7,15 +7,16 @@ import (
 	"repro/internal/config"
 	"repro/internal/dnn"
 	"repro/internal/mapper"
+	"repro/internal/sim"
 	"repro/internal/tensor"
 )
 
-// drainSource exhausts an itemSource and returns all items.
-func drainSource(t *testing.T, src itemSource, max int) []workItem {
+// drainSource exhausts a sim.Source and returns all items.
+func drainSource(t *testing.T, src sim.Source, max int) []sim.WorkItem {
 	t.Helper()
-	var items []workItem
+	var items []sim.WorkItem
 	for i := 0; i < max; i++ {
-		item, ok := src.next()
+		item, ok := src.Next()
 		if !ok {
 			return items
 		}
@@ -28,21 +29,21 @@ func drainSource(t *testing.T, src itemSource, max int) []workItem {
 // checkScheduleInvariants verifies the generated schedule is well formed:
 // every output index receives exactly one Last job, job expectations are
 // positive, and every delivery has at least one destination.
-func checkScheduleInvariants(t *testing.T, items []workItem, wantOutputs int) {
+func checkScheduleInvariants(t *testing.T, items []sim.WorkItem, wantOutputs int) {
 	t.Helper()
 	lastSeen := map[int]int{}
 	for ii, item := range items {
-		for _, d := range item.deliveries {
+		for _, d := range item.Deliveries {
 			if len(d.Dests) == 0 {
 				t.Fatalf("item %d: delivery with no destinations", ii)
 			}
 		}
-		for _, j := range item.jobs {
-			if j.expect <= 0 {
-				t.Fatalf("item %d: job with expect %d", ii, j.expect)
+		for _, j := range item.Jobs {
+			if j.Expect <= 0 {
+				t.Fatalf("item %d: job with expect %d", ii, j.Expect)
 			}
-			if j.last {
-				lastSeen[j.outIdx]++
+			if j.Last {
+				lastSeen[j.OutIdx]++
 			}
 		}
 	}
@@ -82,12 +83,12 @@ func TestGEMMSourceScheduleInvariants(t *testing.T) {
 		// Weight items are barriers; stream items are not.
 		for _, item := range items {
 			hasWeights := false
-			for _, d := range item.deliveries {
+			for _, d := range item.Deliveries {
 				if d.Pkt.Kind == comp.WeightPkt {
 					hasWeights = true
 				}
 			}
-			if hasWeights != item.barrier {
+			if hasWeights != item.Barrier {
 				t.Fatalf("dims %v: weight/barrier mismatch", dims)
 			}
 		}
@@ -131,7 +132,7 @@ func TestConvSourceForwardingOnlyWithinRows(t *testing.T) {
 	items := drainSource(t, src, 100000)
 	var forwarded, total int
 	for _, item := range items {
-		for _, d := range item.deliveries {
+		for _, d := range item.Deliveries {
 			if d.Pkt.Kind != comp.InputPkt {
 				continue
 			}
@@ -151,7 +152,7 @@ func TestConvSourceForwardingOnlyWithinRows(t *testing.T) {
 	// With forwarding disabled, nothing is marked Forward.
 	src2 := newConvSource(in, w, cs, tile, false)
 	for _, item := range drainSource(t, src2, 100000) {
-		for _, d := range item.deliveries {
+		for _, d := range item.Deliveries {
 			if d.Forward {
 				t.Fatal("Forward delivery from a non-forwarding source")
 			}
@@ -173,21 +174,21 @@ func TestSigmaSourceGenerations(t *testing.T) {
 	src := &sigmaSource{rounds: rounds, B: B, n: 3}
 	gens := map[uint32]bool{}
 	for {
-		item, ok := src.next()
+		item, ok := src.Next()
 		if !ok {
 			break
 		}
-		for _, d := range item.deliveries {
+		for _, d := range item.Deliveries {
 			if d.Pkt.Gen == 0 {
 				t.Fatal("sparse delivery without a generation tag")
 			}
 			gens[d.Pkt.Gen] = true
 		}
-		for _, j := range item.jobs {
-			if j.members == nil {
+		for _, j := range item.Jobs {
+			if j.Members == nil {
 				t.Fatal("sparse job without a member snapshot")
 			}
-			if !j.last {
+			if !j.Last {
 				t.Fatal("sparse jobs must be terminal (GB-side accumulation)")
 			}
 		}

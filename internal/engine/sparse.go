@@ -4,21 +4,27 @@ import (
 	"fmt"
 
 	"repro/internal/comp"
+	"repro/internal/comp/names"
 	"repro/internal/config"
 	"repro/internal/dn"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
-// The SIGMA-like composition (sparse controller + Benes + DMN + FAN) runs
-// sparse-times-(possibly sparse) GEMMs: the non-zeros of the stationary MK
-// matrix are packed into rounds of dynamic-size clusters — one cluster per
-// filter/output-row chunk — and the KN matrix streams column by column,
-// each distinct k value multicast through the Benes network to every
-// switch holding a stationary element of that k. Zero streaming values are
-// skipped entirely, so cycle counts depend on the actual distribution of
-// zeros, the effect that breaks analytical models (Fig. 1c).
+// sparseRunner is the SIGMA-like composition (sparse controller + Benes +
+// DMN + FAN). It runs sparse-times-(possibly sparse) GEMMs: the non-zeros
+// of the stationary MK matrix are packed into rounds of dynamic-size
+// clusters — one cluster per filter/output-row chunk — and the KN matrix
+// streams column by column, each distinct k value multicast through the
+// Benes network to every switch holding a stationary element of that k.
+// Zero streaming values are skipped entirely, so cycle counts depend on the
+// actual distribution of zeros, the effect that breaks analytical models
+// (Fig. 1c).
+type sparseRunner struct {
+	hw config.Hardware
+}
 
 // sigmaCluster is one mapped chunk: a contiguous run of switches holding
 // the chunk's stationary non-zeros.
@@ -28,7 +34,7 @@ type sigmaCluster struct {
 	ks     []int32   // k index per member switch
 	vals   []float32 // stationary value per member switch
 	// members is the switch-index set [msBase, msBase+len(ks)), built once
-	// at round construction; jobSpecs share it read-only, so streaming a
+	// at round construction; JobSpecs share it read-only, so streaming a
 	// column allocates nothing.
 	members []int
 }
@@ -59,6 +65,8 @@ type sigmaSource struct {
 
 	exhausted bool
 }
+
+var _ sim.Source = (*sigmaSource)(nil)
 
 func buildSigmaRounds(A *tensor.CSRMatrix, capacity int, policy sched.Policy, seed uint64) []sigmaRound {
 	nnz := make([]int, A.Rows)
@@ -100,9 +108,9 @@ func buildSigmaRounds(A *tensor.CSRMatrix, capacity int, policy sched.Policy, se
 	return rounds
 }
 
-func (s *sigmaSource) next() (workItem, bool) {
+func (s *sigmaSource) Next() (sim.WorkItem, bool) {
 	if s.exhausted {
-		return workItem{}, false
+		return sim.WorkItem{}, false
 	}
 	r := &s.rounds[s.round]
 
@@ -112,10 +120,10 @@ func (s *sigmaSource) next() (workItem, bool) {
 		// shadow register of its switch (generation-tagged), so loading
 		// pipelines behind the previous round's streaming — SIGMA's
 		// double-buffered reconfiguration.
-		item := workItem{prefetch: r.used}
+		item := sim.WorkItem{Prefetch: r.used}
 		for _, cl := range r.clusters {
 			for p, v := range cl.vals {
-				item.deliveries = append(item.deliveries, dn.Delivery{
+				item.Deliveries = append(item.Deliveries, dn.Delivery{
 					Pkt:   comp.Packet{Value: v, Kind: comp.WeightPkt, Gen: gen},
 					Dests: []int{cl.msBase + p},
 				})
@@ -128,7 +136,7 @@ func (s *sigmaSource) next() (workItem, bool) {
 
 	// Stream one column of the KN matrix: distinct non-zero k values are
 	// multicast; clusters reduce whatever members participated.
-	item := workItem{}
+	item := sim.WorkItem{}
 	seq := s.seq
 	s.seq++
 	j := s.col
@@ -146,7 +154,7 @@ func (s *sigmaSource) next() (workItem, bool) {
 			continue // streaming sparsity: never delivered, never multiplied
 		}
 		dests := r.kDests[k]
-		item.deliveries = append(item.deliveries, dn.Delivery{
+		item.Deliveries = append(item.Deliveries, dn.Delivery{
 			Pkt:   comp.Packet{Value: bv, Kind: comp.InputPkt, Seq: seq, Gen: gen},
 			Dests: dests,
 		})
@@ -158,11 +166,11 @@ func (s *sigmaSource) next() (workItem, bool) {
 		if expect[ci] == 0 {
 			continue // entire chunk hit zeros in this column
 		}
-		item.jobs = append(item.jobs, jobSpec{
-			vn: ci, seq: seq, expect: expect[ci],
-			outIdx:  cl.row*s.n + j,
-			last:    true, // each contribution exits and accumulates GB-side
-			members: cl.members,
+		item.Jobs = append(item.Jobs, sim.JobSpec{
+			VN: ci, Seq: seq, Expect: expect[ci],
+			OutIdx:  cl.row*s.n + j,
+			Last:    true, // each contribution exits and accumulates GB-side
+			Members: cl.members,
 		})
 	}
 
@@ -177,13 +185,23 @@ func (s *sigmaSource) next() (workItem, bool) {
 	return item, true
 }
 
+// RunGEMM runs the GEMM through the sparse front end: the sparse
+// controller runs every GEMM through its bitmap/CSR format machinery;
+// dense operands simply have full bitmaps.
+func (r *sparseRunner) RunGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	return r.RunSpMM(A, B, layer, nil)
+}
+
+// RunConv lowers the convolution to SpMM per group: sparse filter matrix
+// times im2col columns (any CONV maps to GEMM via img2col, Section IV-B).
+func (r *sparseRunner) RunConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	return r.RunConvScheduled(in, w, cs, layer, sched.NS)
+}
+
 // RunSpMM executes C = A×B where A is treated as sparse (bitmap or CSR
 // front format per the configuration) and zeros in B are skipped. policy
 // selects the filter scheduling strategy of use case 3 (nil = NS).
-func (a *Accelerator) RunSpMM(A, B *tensor.Tensor, layer string, policy *sched.Policy) (*tensor.Tensor, *stats.Run, error) {
-	if a.hw.Ctrl != config.SparseCtrl {
-		return nil, nil, fmt.Errorf("engine: RunSpMM requires the sparse controller, have %v", a.hw.Ctrl)
-	}
+func (r *sparseRunner) RunSpMM(A, B *tensor.Tensor, layer string, policy *sched.Policy) (*tensor.Tensor, *stats.Run, error) {
 	if A.Rank() != 2 || B.Rank() != 2 || A.Dim(1) != B.Dim(0) {
 		return nil, nil, fmt.Errorf("engine: SpMM shape mismatch %v × %v", A.Shape(), B.Shape())
 	}
@@ -198,15 +216,15 @@ func (a *Accelerator) RunSpMM(A, B *tensor.Tensor, layer string, policy *sched.P
 	m, k := A.Dim(0), A.Dim(1)
 	n := B.Dim(1)
 
-	ctx := newRunCtx(&a.hw)
-	rounds := buildSigmaRounds(csr, a.hw.MSSize, pol, 0x51634)
+	ctx := sim.NewCtx(&r.hw)
+	rounds := buildSigmaRounds(csr, r.hw.MSSize, pol, 0x51634)
 	// Empty operand: no rounds, the output is all zeros after 0 cycles.
 	if len(rounds) == 0 {
 		C := tensor.New(m, n)
-		return C, ctx.finish("SpMM", layer, m, n, k), nil
+		return C, ctx.Finish("SpMM", layer, m, n, k), nil
 	}
 
-	f, err := newFlexRun(ctx, a.hw.MSSize, m*n, 0)
+	f, err := newFlexRun(ctx, r.hw.MSSize, m*n, 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -217,48 +235,32 @@ func (a *Accelerator) RunSpMM(A, B *tensor.Tensor, layer string, policy *sched.P
 	// Sparse metadata traffic: the bitmap front format reads one bit per
 	// MK element (packed into 64-bit words); CSR reads one index per
 	// non-zero plus row pointers.
-	switch a.hw.SparseFormat {
+	switch r.hw.SparseFormat {
 	case config.FmtBitmap:
-		ctx.counters.Add("gb.meta_reads", uint64((m*k+63)/64))
+		ctx.Counters.Add(names.GBMetaReads, uint64((m*k+63)/64))
 	case config.FmtCSR:
-		ctx.counters.Add("gb.meta_reads", uint64(csr.NNZ()+m+1))
+		ctx.Counters.Add(names.GBMetaReads, uint64(csr.NNZ()+m+1))
 	}
 
-	ctx.initialFill(csr.NNZ() + k*n)
+	ctx.InitialFill(csr.NNZ() + k*n)
 	if err := f.run(); err != nil {
-		return nil, nil, fmt.Errorf("engine: %s SpMM %s (%dx%dx%d): %w", a.hw.Name, layer, m, n, k, err)
+		return nil, nil, fmt.Errorf("engine: %s SpMM %s (%dx%dx%d): %w", r.hw.Name, layer, m, n, k, err)
 	}
-	ctx.dram.WriteBack(m * n)
+	ctx.DRAM.WriteBack(m * n)
 	C, err := tensor.FromSlice(f.out, m, n)
 	if err != nil {
 		return nil, nil, err
 	}
-	run := ctx.finish("SpMM", layer, m, n, k)
-	run.Counters["sched.rounds"] = uint64(len(rounds))
+	run := ctx.Finish("SpMM", layer, m, n, k)
+	run.Counters[names.SchedRounds] = uint64(len(rounds))
 	return C, run, nil
-}
-
-// RunSpMMScheduled is RunSpMM with an explicit policy value (convenience
-// for the scheduling study).
-func (a *Accelerator) RunSpMMScheduled(A, B *tensor.Tensor, layer string, policy sched.Policy) (*tensor.Tensor, *stats.Run, error) {
-	return a.RunSpMM(A, B, layer, &policy)
-}
-
-// runSparseConv lowers the convolution to SpMM per group: sparse filter
-// matrix times im2col columns (any CONV maps to GEMM via img2col, Section
-// IV-B).
-func (a *Accelerator) runSparseConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
-	return a.RunConvScheduled(in, w, cs, layer, sched.NS)
 }
 
 // RunConvScheduled runs a convolution on the sparse controller with an
 // explicit filter-scheduling policy (use case 3: the prior-simulation
 // function reorders the filters, the sparse controller issues them in that
 // order).
-func (a *Accelerator) RunConvScheduled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, pol sched.Policy) (*tensor.Tensor, *stats.Run, error) {
-	if a.hw.Ctrl != config.SparseCtrl {
-		return nil, nil, fmt.Errorf("engine: filter scheduling requires the sparse controller, have %v", a.hw.Ctrl)
-	}
+func (r *sparseRunner) RunConvScheduled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, pol sched.Policy) (*tensor.Tensor, *stats.Run, error) {
 	xo, yo := cs.OutX(), cs.OutY()
 	out := tensor.New(cs.N, cs.K, xo, yo)
 	kg := cs.K / cs.G
@@ -272,7 +274,7 @@ func (a *Accelerator) RunConvScheduled(in, w *tensor.Tensor, cs tensor.ConvShape
 		if err != nil {
 			return nil, nil, err
 		}
-		C, run, err := a.RunSpMM(fm, cols, fmt.Sprintf("%s.g%d", layer, g), &pol)
+		C, run, err := r.RunSpMM(fm, cols, fmt.Sprintf("%s.g%d", layer, g), &pol)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -290,26 +292,11 @@ func (a *Accelerator) RunConvScheduled(in, w *tensor.Tensor, cs tensor.ConvShape
 			agg.Op = "CONV"
 			agg.Layer = layer
 		} else {
-			mergeRuns(agg, run)
+			agg.Merge(run)
 		}
 	}
 	m, n, k := cs.GEMMDims()
 	agg.M, agg.N, agg.K = m, n, k
-	recomputeUtilization(agg, a.hw.MSSize)
+	agg.RecomputeUtilization(r.hw.MSSize)
 	return out, agg, nil
-}
-
-func mergeRuns(dst, src *stats.Run) {
-	dst.Cycles += src.Cycles
-	dst.MACs += src.MACs
-	dst.MemAccesses += src.MemAccesses
-	for k, v := range src.Counters {
-		dst.Counters[k] += v
-	}
-}
-
-func recomputeUtilization(r *stats.Run, msSize int) {
-	if r.Cycles > 0 {
-		r.Utilization = float64(r.MACs) / (float64(r.Cycles) * float64(msSize))
-	}
 }

@@ -4,17 +4,23 @@ import (
 	"fmt"
 
 	"repro/internal/comp"
+	"repro/internal/comp/names"
+	"repro/internal/config"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 )
 
-// The TPU-like composition (dense controller + PoPN + LMN + LRN) is an
-// output-stationary systolic array: A operands enter skewed from the west
-// and travel east, B operands enter skewed from the north and travel
-// south, and each processing element accumulates its C element in place.
-// The simulation shifts the physical registers cycle by cycle, so the
-// result is computed by the modelled datapath itself.
-//
+// systolicRunner is the TPU-like composition (dense controller + PoPN +
+// LMN + LRN): an output-stationary systolic array. A operands enter skewed
+// from the west and travel east, B operands enter skewed from the north and
+// travel south, and each processing element accumulates its C element in
+// place. The simulation shifts the physical registers cycle by cycle, so
+// the result is computed by the modelled datapath itself.
+type systolicRunner struct {
+	hw config.Hardware
+}
+
 // Per-tile latency calibration: streaming K operands through a P×P array
 // takes K + 2(P-1) + 1 cycles from first injection to last MAC; the
 // output drain through the linear reduction chain overlaps column-parallel
@@ -23,7 +29,7 @@ import (
 const systolicDrainCycles = 4
 
 type systolicArray struct {
-	*runCtx
+	*sim.Ctx
 	p          int
 	a, b, acc  []float32
 	aNxt, bNxt []float32
@@ -34,27 +40,27 @@ type systolicArray struct {
 	cMults, cAdders, cFwds, cOutputs comp.Counter
 }
 
-func newSystolicArray(ctx *runCtx) (*systolicArray, error) {
-	p := isqrt(ctx.hw.MSSize)
-	if p*p != ctx.hw.MSSize {
-		return nil, fmt.Errorf("engine: systolic array needs a square PE count, got %d", ctx.hw.MSSize)
+func newSystolicArray(ctx *sim.Ctx) (*systolicArray, error) {
+	p := isqrt(ctx.HW.MSSize)
+	if p*p != ctx.HW.MSSize {
+		return nil, fmt.Errorf("engine: systolic array needs a square PE count, got %d", ctx.HW.MSSize)
 	}
-	if ctx.hw.DNBandwidth < 2*p {
+	if ctx.HW.DNBandwidth < 2*p {
 		return nil, fmt.Errorf("engine: systolic array requires full edge bandwidth (%d), configured %d",
-			2*p, ctx.hw.DNBandwidth)
+			2*p, ctx.HW.DNBandwidth)
 	}
 	n := p * p
 	return &systolicArray{
-		runCtx: ctx,
-		p:      p,
-		a:      make([]float32, n), b: make([]float32, n), acc: make([]float32, n),
+		Ctx: ctx,
+		p:   p,
+		a:   make([]float32, n), b: make([]float32, n), acc: make([]float32, n),
 		aNxt: make([]float32, n), bNxt: make([]float32, n),
-		cLinkTrav:   ctx.counters.Counter("dn.link_traversals"),
-		cInjections: ctx.counters.Counter("dn.injections"),
-		cMults:      ctx.counters.Counter("mn.mults"),
-		cAdders:     ctx.counters.Counter("rn.adders_lrn"),
-		cFwds:       ctx.counters.Counter("mn.forwards"),
-		cOutputs:    ctx.counters.Counter("rn.outputs"),
+		cLinkTrav:   ctx.Counters.Counter(names.DNLinkTraversals),
+		cInjections: ctx.Counters.Counter(names.DNInjections),
+		cMults:      ctx.Counters.Counter(names.MNMults),
+		cAdders:     ctx.Counters.Counter(names.RNAddersLRN),
+		cFwds:       ctx.Counters.Counter(names.MNForwards),
+		cOutputs:    ctx.Counters.Counter(names.RNOutputs),
 	}, nil
 }
 
@@ -81,7 +87,7 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 					mi := mi0 + i
 					if kk >= 0 && kk < kw && mi < m {
 						v = ad[mi*k+k0+kk]
-						s.gb.Read(1)
+						s.GB.Read(1)
 						s.cLinkTrav.Add(1)
 						s.cInjections.Add(1)
 					}
@@ -95,7 +101,7 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 					nj := nj0 + j
 					if kk >= 0 && kk < kw && nj < n {
 						v = bd[(k0+kk)*n+nj]
-						s.gb.Read(1)
+						s.GB.Read(1)
 						s.cLinkTrav.Add(1)
 						s.cInjections.Add(1)
 					}
@@ -127,7 +133,7 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 			}
 		}
 	}
-	s.cycles += uint64(streamLen + systolicDrainCycles)
+	s.Cycles += uint64(streamLen + systolicDrainCycles)
 	s.cMults.Add(mults)
 	s.cAdders.Add(mults) // in-place accumulation chain (LRN)
 	s.cFwds.Add(fwds)
@@ -144,17 +150,17 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 				break
 			}
 			C[mi*n+nj] += s.acc[i*p+j]
-			s.gb.Write(1)
+			s.GB.Write(1)
 			s.cOutputs.Add(1)
 		}
 	}
 }
 
-// runSystolicGEMM tiles an M×N×K GEMM over the array; tiles execute
-// back-to-back (the rigid pipeline cannot overlap tile boundaries, which
-// is precisely the behaviour the RTL validation shows).
-func (a *Accelerator) runSystolicGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
-	ctx := newRunCtx(&a.hw)
+// RunGEMM tiles an M×N×K GEMM over the array; tiles execute back-to-back
+// (the rigid pipeline cannot overlap tile boundaries, which is precisely
+// the behaviour the RTL validation shows).
+func (r *systolicRunner) RunGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tensor, *stats.Run, error) {
+	ctx := sim.NewCtx(&r.hw)
 	arr, err := newSystolicArray(ctx)
 	if err != nil {
 		return nil, nil, err
@@ -166,10 +172,10 @@ func (a *Accelerator) runSystolicGEMM(A, B *tensor.Tensor, layer string) (*tenso
 	// The GB working set per K panel must fit; panels larger than the
 	// buffer are split (K folding with in-C accumulation).
 	kPanel := k
-	if maxK := ctx.gb.CapacityElems() / (4 * p); kPanel > maxK && maxK > 0 {
+	if maxK := ctx.GB.CapacityElems() / (4 * p); kPanel > maxK && maxK > 0 {
 		kPanel = maxK
 	}
-	ctx.initialFill(min(m*k+k*n, ctx.gb.CapacityElems()/2))
+	ctx.InitialFill(min(m*k+k*n, ctx.GB.CapacityElems()/2))
 	for k0 := 0; k0 < k; k0 += kPanel {
 		kw := min(kPanel, k-k0)
 		for mi0 := 0; mi0 < m; mi0 += p {
@@ -178,18 +184,18 @@ func (a *Accelerator) runSystolicGEMM(A, B *tensor.Tensor, layer string) (*tenso
 			}
 		}
 	}
-	ctx.dram.WriteBack(m * n)
+	ctx.DRAM.WriteBack(m * n)
 	out, err := tensor.FromSlice(C, m, n)
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, ctx.finish("GEMM", layer, m, n, k), nil
+	return out, ctx.Finish("GEMM", layer, m, n, k), nil
 }
 
-// runSystolicConv lowers the convolution to GEMM with im2col — how rigid
-// systolic designs execute convolutions — and reshapes the result.
-func (a *Accelerator) runSystolicConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
-	ctx := newRunCtx(&a.hw)
+// RunConv lowers the convolution to GEMM with im2col — how rigid systolic
+// designs execute convolutions — and reshapes the result.
+func (r *systolicRunner) RunConv(in, w *tensor.Tensor, cs tensor.ConvShape, layer string) (*tensor.Tensor, *stats.Run, error) {
+	ctx := sim.NewCtx(&r.hw)
 	arr, err := newSystolicArray(ctx)
 	if err != nil {
 		return nil, nil, err
@@ -199,7 +205,7 @@ func (a *Accelerator) runSystolicConv(in, w *tensor.Tensor, cs tensor.ConvShape,
 	kg := cs.K / cs.G
 	p := arr.p
 	gm, gn, gk := cs.GEMMDims()
-	ctx.initialFill(min(in.Len()+w.Len(), ctx.gb.CapacityElems()/2))
+	ctx.InitialFill(min(in.Len()+w.Len(), ctx.GB.CapacityElems()/2))
 	for g := 0; g < cs.G; g++ {
 		cols, err := tensor.Im2Col(in, cs, g)
 		if err != nil {
@@ -213,7 +219,7 @@ func (a *Accelerator) runSystolicConv(in, w *tensor.Tensor, cs tensor.ConvShape,
 		n := cols.Dim(1)
 		C := make([]float32, m*n)
 		kPanel := k
-		if maxK := ctx.gb.CapacityElems() / (4 * p); kPanel > maxK && maxK > 0 {
+		if maxK := ctx.GB.CapacityElems() / (4 * p); kPanel > maxK && maxK > 0 {
 			kPanel = maxK
 		}
 		for k0 := 0; k0 < k; k0 += kPanel {
@@ -234,8 +240,8 @@ func (a *Accelerator) runSystolicConv(in, w *tensor.Tensor, cs tensor.ConvShape,
 			}
 		}
 	}
-	ctx.dram.WriteBack(cs.K * xo * yo)
-	return out, ctx.finish("CONV", layer, gm, gn, gk), nil
+	ctx.DRAM.WriteBack(cs.K * xo * yo)
+	return out, ctx.Finish("CONV", layer, gm, gn, gk), nil
 }
 
 func isqrt(n int) int {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"repro/internal/analytical"
-	"repro/internal/config"
 	"repro/internal/dnn"
 	"repro/internal/engine"
 	"repro/internal/mapper"
@@ -71,7 +70,7 @@ func Fig1aPar(ctx context.Context, workers, scale int) ([]Fig1Row, error) {
 }
 
 func fig1aPoint(pe int, rl RepLayer) (Fig1Row, error) {
-	hw := config.TPULike(pe * pe)
+	hw := archHW("tpu", pe*pe, 2*pe)
 	hw.Preloaded = true
 	acc, err := engine.New(hw)
 	if err != nil {
@@ -130,7 +129,7 @@ func Fig1bPar(ctx context.Context, workers, scale int) ([]Fig1Row, error) {
 
 func fig1bPoint(bw int, rl RepLayer) (Fig1Row, error) {
 	const ms = 128
-	hw := config.MAERILike(ms, bw)
+	hw := archHW("maeri", ms, bw)
 	hw.Preloaded = true
 	acc, err := engine.New(hw)
 	if err != nil {
@@ -210,7 +209,7 @@ func Fig1cPar(ctx context.Context, workers, scale int) ([]Fig1Row, error) {
 
 func fig1cPoint(sp float64, rl RepLayer) (Fig1Row, error) {
 	const ms, bw = 128, 128
-	hw := config.SIGMALike(ms, bw)
+	hw := archHW("sigma", ms, bw)
 	hw.Preloaded = true
 	acc, err := engine.New(hw)
 	if err != nil {

@@ -41,9 +41,9 @@ type Fig5Row struct {
 // the TPU (Section VI-A).
 func fig5Arches() []config.Hardware {
 	return []config.Hardware{
-		config.TPULike(256),
-		config.MAERILike(256, 128),
-		config.SIGMALike(256, 128),
+		archHW("tpu", 256, 32),
+		archHW("maeri", 256, 128),
+		archHW("sigma", 256, 128),
 	}
 }
 

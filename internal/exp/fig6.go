@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/config"
 	"repro/internal/dnn"
 	"repro/internal/simpool"
 	"repro/stonne"
@@ -99,7 +98,7 @@ func Fig6Par(ctx context.Context, workers, scale, images int) ([]Fig6Row, error)
 
 // fig6Image runs one model on one input image, SNAPEA and baseline.
 func fig6Image(tag string, scale, img int) (fig6Cell, error) {
-	hw := config.SNAPEALike(64, 64)
+	hw := archHW("snapea", 64, 64)
 	full, err := dnn.ModelByShort(tag)
 	if err != nil {
 		return fig6Cell{}, err

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/config"
 	"repro/internal/dnn"
 	"repro/internal/sched"
 	"repro/internal/simpool"
@@ -76,7 +75,7 @@ func Fig9Par(ctx context.Context, workers, scale int, tags []string) ([]Fig9Row,
 
 // fig9Run simulates one model under one scheduling policy.
 func fig9Run(tag string, pol sched.Policy, scale int) (Fig9Row, error) {
-	hw := config.SIGMALike(256, 128)
+	hw := archHW("sigma", 256, 128)
 	full, err := dnn.ModelByShort(tag)
 	if err != nil {
 		return Fig9Row{}, err
@@ -124,7 +123,7 @@ func Fig9c(scale int) ([]Fig9cRow, error) {
 func Fig9cPar(ctx context.Context, workers, scale int) ([]Fig9cRow, error) {
 	mrs, err := simpool.Map(ctx, workers, []sched.Policy{sched.NS, sched.LFF},
 		func(_ context.Context, _ int, pol sched.Policy) (*stonne.ModelRun, error) {
-			hw := config.SIGMALike(256, 128)
+			hw := archHW("sigma", 256, 128)
 			m, err := dnn.ScaleSpatial(dnn.ResNet50(), scale)
 			if err != nil {
 				return nil, err

@@ -8,7 +8,9 @@ package exp
 import (
 	"fmt"
 
+	"repro/internal/config"
 	"repro/internal/dnn"
+	"repro/internal/sim"
 	"repro/internal/tensor"
 )
 
@@ -96,4 +98,15 @@ func layerOperands(l *dnn.Layer, sparsity float64, seed uint64) (A, B *tensor.Te
 func pruneDense(t *tensor.Tensor, target float64) error {
 	w := &dnn.Weights{ByLayer: map[string]*tensor.Tensor{"x": t}}
 	return w.Prune(target)
+}
+
+// archHW resolves a preset from the architecture registry. The experiment
+// definitions name only registered architectures, so a lookup failure is a
+// programming error, not user input.
+func archHW(name string, ms, bw int) config.Hardware {
+	hw, err := sim.PresetHW(name, ms, bw)
+	if err != nil {
+		panic(err)
+	}
+	return hw
 }

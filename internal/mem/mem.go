@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/comp"
+	"repro/internal/comp/names"
 	"repro/internal/config"
 )
 
@@ -32,8 +33,8 @@ func NewGlobalBuffer(h *config.Hardware, c *comp.Counters) *GlobalBuffer {
 		sizeBytes:    h.GBSizeKB * 1024,
 		bytesPerElem: h.BytesPerElement,
 		counters:     c,
-		cReads:       c.Counter("gb.reads"),
-		cWrites:      c.Counter("gb.writes"),
+		cReads:       c.Counter(names.GBReads),
+		cWrites:      c.Counter(names.GBWrites),
 	}
 }
 
@@ -85,10 +86,10 @@ func NewDRAM(h *config.Hardware, c *comp.Counters) *DRAM {
 		rowHit:        h.DRAM.RowHitLatency,
 		rowMiss:       h.DRAM.RowMissLatency,
 		counters:      c,
-		cReads:        c.Counter("dram.reads"),
-		cRowActs:      c.Counter("dram.row_activations"),
-		cStallEvents:  c.Counter("dram.stall_events"),
-		cWrites:       c.Counter("dram.writes"),
+		cReads:        c.Counter(names.DRAMReads),
+		cRowActs:      c.Counter(names.DRAMRowActivations),
+		cStallEvents:  c.Counter(names.DRAMStallEvents),
+		cWrites:       c.Counter(names.DRAMWrites),
 	}
 }
 

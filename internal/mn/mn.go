@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/comp"
+	"repro/internal/comp/names"
 )
 
 // psumLatchDepth bounds how many reduce steps a switch can run ahead of
@@ -66,13 +67,13 @@ func NewArray(n, fifoDepth int, forwarding bool, c *comp.Counters) *Array {
 		forwarding:   forwarding,
 		ms:           make([]msState, n),
 		counters:     c,
-		cMults:       c.Counter("mn.mults"),
-		cActive:      c.Counter("mn.active_cycles"),
-		cWeightLoads: c.Counter("mn.weight_loads"),
-		cForwards:    c.Counter("mn.forwards"),
-		cReconf:      c.Counter("mn.reconfigurations"),
-		cFifoPushes:  c.Counter("mn.fifo.pushes"),
-		cFifoPops:    c.Counter("mn.fifo.pops"),
+		cMults:       c.Counter(names.MNMults),
+		cActive:      c.Counter(names.MNActiveCycles),
+		cWeightLoads: c.Counter(names.MNWeightLoads),
+		cForwards:    c.Counter(names.MNForwards),
+		cReconf:      c.Counter(names.MNReconfigurations),
+		cFifoPushes:  c.Counter(names.MNFifoPushes),
+		cFifoPops:    c.Counter(names.MNFifoPops),
 		vnOf:         make([]int, n),
 	}
 	for i := range a.ms {

@@ -11,6 +11,7 @@ import (
 	"math/bits"
 
 	"repro/internal/comp"
+	"repro/internal/comp/names"
 )
 
 // Job is one virtual neuron's product set for one step of computation.
@@ -125,12 +126,12 @@ type Net struct {
 // New builds a reduction network of the given kind over `size` inputs with
 // an output bandwidth of outBW elements/cycle.
 func New(kind Kind, size, outBW int, c *comp.Counters) *Net {
-	adders := "rn.adders_lrn"
+	adders := names.RNAddersLRN
 	switch kind {
 	case ART, ARTAcc:
-		adders = "rn.adders_3to1"
+		adders = names.RNAdders3to1
 	case FAN:
-		adders = "rn.adders_fan"
+		adders = names.RNAddersFAN
 	}
 	return &Net{
 		kind:          kind,
@@ -139,12 +140,12 @@ func New(kind Kind, size, outBW int, c *comp.Counters) *Net {
 		outBW:         outBW,
 		hasAcc:        kind == ARTAcc || kind == FAN,
 		counters:      c,
-		cInputStalls:  c.Counter("rn.input_stalls"),
+		cInputStalls:  c.Counter(names.RNInputStalls),
 		cAdders:       c.Counter(adders),
-		cAccAccesses:  c.Counter("rn.acc_accesses"),
-		cOutputs:      c.Counter("rn.outputs"),
-		cActive:       c.Counter("rn.active_cycles"),
-		cOutputStalls: c.Counter("rn.output_stalls"),
+		cAccAccesses:  c.Counter(names.RNAccAccesses),
+		cOutputs:      c.Counter(names.RNOutputs),
+		cActive:       c.Counter(names.RNActiveCycles),
+		cOutputStalls: c.Counter(names.RNOutputStalls),
 		acc:           make(map[int]float32),
 		blocked:       make(map[int]struct{}),
 	}

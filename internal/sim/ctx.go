@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"repro/internal/comp"
+	"repro/internal/comp/names"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// DeadlockWindow is the number of cycles without any observable progress
+// after which a run aborts with a diagnostic instead of spinning forever —
+// a controller bug, not a valid hardware state.
+const DeadlockWindow = 200_000
+
+// MaxAccEntries bounds the accumulation-buffer working set; schedulers
+// panelize output sweeps so folds never need more in-flight partial sums.
+const MaxAccEntries = 4096
+
+// Ctx bundles the per-run state shared by every engine composition: one
+// private counter set, Global Buffer and DRAM model, plus the cycle count
+// the kernel advances. Each run owns a fresh Ctx, so concurrent runs share
+// nothing.
+type Ctx struct {
+	HW       *config.Hardware
+	Counters *comp.Counters
+	GB       *mem.GlobalBuffer
+	DRAM     *mem.DRAM
+	Cycles   uint64
+
+	// Pre-resolved results-path handles: Finish reads totals through these
+	// instead of string-keyed lookups.
+	cMults, cGBReads, cGBWrites comp.Counter
+}
+
+// NewCtx builds the per-run context for one operation on hw.
+func NewCtx(hw *config.Hardware) *Ctx {
+	c := comp.NewCounters()
+	return &Ctx{
+		HW:        hw,
+		Counters:  c,
+		GB:        mem.NewGlobalBuffer(hw, c),
+		DRAM:      mem.NewDRAM(hw, c),
+		cMults:    c.Counter(names.MNMults),
+		cGBReads:  c.Counter(names.GBReads),
+		cGBWrites: c.Counter(names.GBWrites),
+	}
+}
+
+// Finish assembles the Run record.
+func (c *Ctx) Finish(op, layer string, m, n, k int) *stats.Run {
+	mults := c.cMults.Value()
+	util := 0.0
+	if c.Cycles > 0 {
+		util = float64(mults) / (float64(c.Cycles) * float64(c.HW.MSSize))
+	}
+	return &stats.Run{
+		Accelerator: c.HW.Name,
+		Op:          op,
+		Layer:       layer,
+		M:           m, N: n, K: k,
+		Cycles:      c.Cycles,
+		MACs:        mults,
+		MemAccesses: c.cGBReads.Value() + c.cGBWrites.Value(),
+		Utilization: util,
+		Counters:    c.Counters.Snapshot(),
+	}
+}
+
+// InitialFill charges the unavoidable DRAM latency of streaming the first
+// working set into the Global Buffer before compute can start; later
+// transfers double-buffer behind compute.
+func (c *Ctx) InitialFill(elems int) {
+	if c.HW.Preloaded {
+		return
+	}
+	half := c.GB.CapacityElems() / 2 // double-buffered halves
+	if elems > half {
+		elems = half
+	}
+	fill := uint64(c.DRAM.FetchCycles(elems))
+	c.Cycles += fill
+	c.Counters.Add(names.DRAMInitialFillCycles, fill)
+}

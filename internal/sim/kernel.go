@@ -1,0 +1,59 @@
+package sim
+
+import "fmt"
+
+// Kernel is the canonical cycle loop every pipelined composition runs: the
+// controller acts, the fabric components tick once each in pipeline order,
+// the cycle counter advances, and a watchdog aborts the run when no
+// observable progress is made for DeadlockWindow cycles.
+//
+// The hooks keep the kernel architecture-agnostic:
+//
+//   - Control is the memory controller's per-clock behaviour, run before
+//     the fabric ticks (it fires ready reductions and issues schedule
+//     items into the distribution network).
+//   - Ticks are the fabric components, ticked in registration order —
+//     the tick ordering is the pipeline order (DN → MN → RN).
+//   - Done reports run completion; the loop exits without a final tick.
+//   - Progress returns a value that changes whenever the run moved forward
+//     (completed outputs); the watchdog resets on change.
+//   - Err surfaces a fatal controller error raised during Control.
+//   - Deadlock renders the abort diagnostic; nil falls back to a generic
+//     message.
+type Kernel struct {
+	Ctx      *Ctx
+	Control  func()
+	Ticks    []Tickable
+	Done     func() bool
+	Progress func() int
+	Err      func() error
+	Deadlock func(window uint64) error
+}
+
+// Run executes the cycle loop to completion (or watchdog abort).
+func (k *Kernel) Run() error {
+	lastProgress := k.Ctx.Cycles
+	lastState := -1
+	for !k.Done() {
+		k.Control()
+		if err := k.Err(); err != nil {
+			return err
+		}
+		for _, t := range k.Ticks {
+			t.Cycle()
+		}
+		k.Ctx.Cycles++
+
+		if state := k.Progress(); state != lastState {
+			lastState = state
+			lastProgress = k.Ctx.Cycles
+		}
+		if k.Ctx.Cycles-lastProgress > DeadlockWindow {
+			if k.Deadlock != nil {
+				return k.Deadlock(DeadlockWindow)
+			}
+			return fmt.Errorf("sim: no progress for %d cycles", uint64(DeadlockWindow))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// tick records the order fabric components were ticked in.
+type tick struct {
+	id  int
+	log *[]int
+}
+
+func (t tick) Cycle() { *t.log = append(*t.log, t.id) }
+
+func testCtx() *Ctx {
+	hw := config.MAERILike(16, 8)
+	hw.Preloaded = true
+	return NewCtx(&hw)
+}
+
+func TestKernelTickOrderAndCycleCount(t *testing.T) {
+	ctx := testCtx()
+	var log []int
+	cycles := 0
+	k := &Kernel{
+		Ctx:      ctx,
+		Control:  func() { cycles++ },
+		Ticks:    []Tickable{tick{1, &log}, tick{2, &log}, tick{3, &log}},
+		Done:     func() bool { return cycles == 4 },
+		Progress: func() int { return cycles },
+		Err:      func() error { return nil },
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Cycles != 4 {
+		t.Errorf("Cycles = %d, want 4", ctx.Cycles)
+	}
+	// Pipeline order within every cycle: 1, 2, 3.
+	if len(log) != 12 {
+		t.Fatalf("tick log has %d entries, want 12", len(log))
+	}
+	for i, id := range log {
+		if id != i%3+1 {
+			t.Fatalf("tick %d was component %d — pipeline order broken", i, id)
+		}
+	}
+}
+
+func TestKernelErrAborts(t *testing.T) {
+	ctx := testCtx()
+	boom := errors.New("controller fault")
+	k := &Kernel{
+		Ctx:      ctx,
+		Control:  func() {},
+		Done:     func() bool { return false },
+		Progress: func() int { return 0 },
+		Err:      func() error { return boom },
+	}
+	if err := k.Run(); !errors.Is(err, boom) {
+		t.Errorf("Run() = %v, want the controller fault", err)
+	}
+	if ctx.Cycles != 0 {
+		t.Errorf("aborted before ticking, but Cycles = %d", ctx.Cycles)
+	}
+}
+
+func TestKernelWatchdog(t *testing.T) {
+	ctx := testCtx()
+	k := &Kernel{
+		Ctx:      ctx,
+		Control:  func() {},
+		Done:     func() bool { return false },
+		Progress: func() int { return 7 }, // constant: no progress ever
+		Err:      func() error { return nil },
+	}
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "no progress") {
+		t.Fatalf("watchdog did not fire: %v", err)
+	}
+
+	// A custom Deadlock hook renders the diagnostic instead.
+	ctx2 := testCtx()
+	k.Ctx = ctx2
+	k.Deadlock = func(window uint64) error {
+		return fmt.Errorf("custom diagnostic after %d", window)
+	}
+	err = k.Run()
+	if err == nil || err.Error() != fmt.Sprintf("custom diagnostic after %d", uint64(DeadlockWindow)) {
+		t.Fatalf("custom deadlock hook not used: %v", err)
+	}
+}
+
+func TestKernelWatchdogResetsOnProgress(t *testing.T) {
+	ctx := testCtx()
+	n := uint64(0)
+	k := &Kernel{
+		Ctx:     ctx,
+		Control: func() { n++ },
+		Done:    func() bool { return n > DeadlockWindow+DeadlockWindow/2 },
+		// Progress changes every DeadlockWindow/2 cycles — always inside
+		// the window, so the watchdog must never fire.
+		Progress: func() int { return int(n / (DeadlockWindow / 2)) },
+		Err:      func() error { return nil },
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("watchdog fired despite periodic progress: %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	expectPanic := func(name string, a Arch) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(a)
+	}
+	full := Arch{
+		Name:    "sim-test-dup",
+		Matches: func(config.Hardware) bool { return false },
+		Preset:  func(ms, bw int) config.Hardware { return config.Hardware{} },
+		Build:   func(config.Hardware) (Runner, error) { return nil, nil },
+	}
+	Register(full)
+	expectPanic("duplicate name", full)
+	incomplete := full
+	incomplete.Name = "sim-test-nobuild"
+	incomplete.Build = nil
+	expectPanic("missing builder", incomplete)
+
+	if _, ok := Lookup("sim-test-dup"); !ok {
+		t.Error("registered architecture not found by Lookup")
+	}
+	if _, ok := Lookup("sim-test-missing"); ok {
+		t.Error("Lookup invented an architecture")
+	}
+}
+
+func TestUnknownArchErrorListsNames(t *testing.T) {
+	err := UnknownArchError("bogus")
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) || !strings.Contains(msg, "available:") {
+		t.Errorf("unhelpful unknown-arch error: %q", msg)
+	}
+	// Names() is sorted, and the error embeds that order.
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if !strings.Contains(msg, n) {
+			t.Errorf("error %q does not name %q", msg, n)
+		}
+	}
+}

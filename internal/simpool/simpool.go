@@ -3,7 +3,7 @@
 // bandwidth sweep point) across a bounded set of worker goroutines.
 //
 // The design leans on a property the engine already guarantees: every run
-// owns a private runCtx/Counters/buffer set, so jobs share nothing and a
+// owns a private sim.Ctx/Counters/buffer set, so jobs share nothing and a
 // whole sweep is embarrassingly parallel. The pool's job is therefore only
 // scheduling and bookkeeping, with four contracts the experiment layer
 // depends on:

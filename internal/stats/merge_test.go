@@ -1,0 +1,56 @@
+package stats
+
+import "testing"
+
+func TestRunMerge(t *testing.T) {
+	dst := &Run{
+		Cycles: 100, MACs: 400, MemAccesses: 50,
+		Counters: map[string]uint64{"mn.mults": 400, "gb.reads": 30},
+	}
+	src := &Run{
+		Cycles: 60, MACs: 200, MemAccesses: 25,
+		Counters: map[string]uint64{"mn.mults": 200, "rn.outputs": 10},
+	}
+	dst.Merge(src)
+	if dst.Cycles != 160 || dst.MACs != 600 || dst.MemAccesses != 75 {
+		t.Errorf("totals after merge: cycles=%d macs=%d mem=%d", dst.Cycles, dst.MACs, dst.MemAccesses)
+	}
+	want := map[string]uint64{"mn.mults": 600, "gb.reads": 30, "rn.outputs": 10}
+	if len(dst.Counters) != len(want) {
+		t.Fatalf("counters after merge: %v", dst.Counters)
+	}
+	for k, v := range want {
+		if dst.Counters[k] != v {
+			t.Errorf("counter %s = %d, want %d", k, dst.Counters[k], v)
+		}
+	}
+	// src must be untouched.
+	if src.Cycles != 60 || src.Counters["mn.mults"] != 200 {
+		t.Error("Merge mutated its source")
+	}
+}
+
+func TestRecomputeUtilization(t *testing.T) {
+	r := &Run{Cycles: 100, MACs: 400}
+	r.RecomputeUtilization(16)
+	if got, want := r.Utilization, 400.0/(100.0*16.0); got != want {
+		t.Errorf("utilization = %v, want %v", got, want)
+	}
+
+	// Zero cycles: keep whatever is there rather than dividing by zero.
+	z := &Run{Utilization: 0.5}
+	z.RecomputeUtilization(16)
+	if z.Utilization != 0.5 {
+		t.Errorf("zero-cycle run changed utilization to %v", z.Utilization)
+	}
+}
+
+func TestMergeThenRecompute(t *testing.T) {
+	a := &Run{Cycles: 10, MACs: 80, Counters: map[string]uint64{}}
+	b := &Run{Cycles: 30, MACs: 160, Counters: map[string]uint64{}}
+	a.Merge(b)
+	a.RecomputeUtilization(8)
+	if got, want := a.Utilization, 240.0/(40.0*8.0); got != want {
+		t.Errorf("merged utilization = %v, want %v", got, want)
+	}
+}

@@ -40,6 +40,28 @@ type Run struct {
 	AreaUM2 map[string]float64 `json:"area_um2,omitempty"`
 }
 
+// Merge accumulates another run's raw totals into r: cycles, performed
+// MACs, memory accesses and every activity counter. Derived metrics
+// (Utilization) are not touched — call RecomputeUtilization once all parts
+// are merged.
+func (r *Run) Merge(src *Run) {
+	r.Cycles += src.Cycles
+	r.MACs += src.MACs
+	r.MemAccesses += src.MemAccesses
+	for k, v := range src.Counters {
+		r.Counters[k] += v
+	}
+}
+
+// RecomputeUtilization rederives the average multiplier busy fraction from
+// the (possibly merged) MAC and cycle totals for a fabric of msSize
+// multiplier switches. A zero-cycle run keeps its existing value.
+func (r *Run) RecomputeUtilization(msSize int) {
+	if r.Cycles > 0 {
+		r.Utilization = float64(r.MACs) / (float64(r.Cycles) * float64(msSize))
+	}
+}
+
 // TimeSeconds converts cycles at the given clock.
 func (r *Run) TimeSeconds(clockGHz float64) float64 {
 	return float64(r.Cycles) / (clockGHz * 1e9)

@@ -18,6 +18,7 @@ package stonne
 import (
 	"fmt"
 
+	"repro/internal/comp/names"
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/engine"
@@ -302,9 +303,9 @@ func (s *Instance) runMaxPool() (*Tensor, *Run, error) {
 		Accelerator: s.hw.Name, Op: "MaxPool",
 		Cycles: cycles, MemAccesses: uint64(n * c * (x*y + ox*oy)),
 		Counters: map[string]uint64{
-			"mn.comparisons": comparisons,
-			"gb.reads":       uint64(n * c * x * y),
-			"gb.writes":      uint64(n * c * ox * oy),
+			names.MNComparisons: comparisons,
+			names.GBReads:       uint64(n * c * x * y),
+			names.GBWrites:      uint64(n * c * ox * oy),
 		},
 	}
 	return out, run, nil

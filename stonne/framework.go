@@ -75,11 +75,11 @@ func (o *simOffloader) RunLayer(l *dnn.Layer, in, w *tensor.Tensor) (*tensor.Ten
 	)
 	switch l.Kind {
 	case dnn.Conv:
-		switch inst.hw.Ctrl.String() {
-		case "snapea":
+		switch {
+		case inst.acc.SupportsEarlyCut():
 			cut := !o.opts.DisableSNAPEACut && o.cutSafe[l.Name]
 			out, run, err = inst.acc.RunSNAPEAConv(in, w, l.Conv, l.Name, cut)
-		case "sparse":
+		case inst.acc.SupportsScheduling():
 			out, run, err = inst.acc.RunConvScheduled(in, w, l.Conv, l.Name, o.opts.Policy)
 		default:
 			if tile, ok := o.opts.Tiles[l.Name]; ok {
@@ -92,7 +92,7 @@ func (o *simOffloader) RunLayer(l *dnn.Layer, in, w *tensor.Tensor) (*tensor.Ten
 		// out = W(Out×In) × inᵀ(In×B), reshaped to (B, Out).
 		wt := w
 		bt := transpose(in)
-		if inst.hw.Ctrl.String() == "sparse" {
+		if inst.acc.SupportsScheduling() {
 			pol := o.opts.Policy
 			out, run, err = inst.acc.RunSpMM(wt, bt, l.Name, &pol)
 		} else {
@@ -106,7 +106,7 @@ func (o *simOffloader) RunLayer(l *dnn.Layer, in, w *tensor.Tensor) (*tensor.Ten
 		if err2 != nil {
 			return nil, err2
 		}
-		if inst.hw.Ctrl.String() == "sparse" {
+		if inst.acc.SupportsScheduling() {
 			pol := o.opts.Policy
 			out, run, err = inst.acc.RunSpMM(a, b, l.Name, &pol)
 		} else {

@@ -31,7 +31,7 @@ func (o *trainOffloader) RunTrainGEMM(a, b *tensor.Tensor, tag string) (*tensor.
 		run *Run
 		err error
 	)
-	if o.inst.hw.Ctrl.String() == "sparse" {
+	if o.inst.acc.SupportsScheduling() {
 		pol := NoScheduling
 		out, run, err = o.inst.acc.RunSpMM(a, b, tag, &pol)
 	} else {
@@ -49,12 +49,12 @@ func (o *trainOffloader) RunTrainGEMM(a, b *tensor.Tensor, tag string) (*tensor.
 // the given hardware and returns the loss, the weight gradients and the
 // per-GEMM simulation statistics. Apply the gradients with ApplySGD.
 func RunTrainingStep(m *Model, w *Weights, input *Tensor, label int, hw Hardware) (*TrainResult, error) {
-	if hw.Ctrl.String() == "snapea" {
-		return nil, fmt.Errorf("stonne: the SNAPEA accelerator is inference-only (early termination is unsound for gradients)")
-	}
 	inst, err := CreateInstance(hw)
 	if err != nil {
 		return nil, err
+	}
+	if inst.acc.SupportsEarlyCut() {
+		return nil, fmt.Errorf("stonne: the SNAPEA accelerator is inference-only (early termination is unsound for gradients)")
 	}
 	res, err := dnn.TrainStep(m, w, input, label, &trainOffloader{inst: inst})
 	if err != nil {

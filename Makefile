@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet
+.PHONY: build test race bench vet trace-demo
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,19 @@ test:
 	$(GO) test ./...
 
 # race exercises the parallel runtime paths: the simpool itself, the
-# public API, and the serial-vs-parallel equivalence test in exp.
+# public API, and the serial-vs-parallel equivalence test in exp. The
+# explicit timeout keeps slow CI runners from hitting go test's default
+# 10m panic mid-suite under the race detector's ~10x slowdown.
 race:
-	$(GO) test -race ./internal/simpool/... ./stonne/...
-	$(GO) test -race -run 'TestFig5SerialParallelEquivalence' ./internal/exp/
+	$(GO) test -race -timeout 20m ./internal/simpool/... ./stonne/...
+	$(GO) test -race -timeout 20m -run 'TestFig5SerialParallelEquivalence' ./internal/exp/
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x .
 	$(GO) test -run=XXX -bench='BenchmarkCounters' ./internal/comp/
+
+# trace-demo runs one traced MAERI GEMM end to end and validates that the
+# emitted Chrome trace parses — the smoke check for the observability layer.
+trace-demo:
+	$(GO) run ./cmd/stonne gemm -arch maeri -ms 64 -bw 16 -M 32 -N 32 -K 64 -trace /tmp/stonne-trace-demo.json
+	$(GO) run ./cmd/tracecheck /tmp/stonne-trace-demo.json

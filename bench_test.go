@@ -20,6 +20,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/sched"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/stonne"
 )
 
@@ -210,6 +211,50 @@ func BenchmarkEngineMAERI64x64x64(b *testing.B) {
 
 func BenchmarkEngineSIGMA64x64x64(b *testing.B) {
 	benchEngineGEMM(b, config.SIGMALike(256, 128), 64, 64, 64)
+}
+
+// BenchmarkTraceOverhead runs the same MAERI GEMM untraced and traced: the
+// "off" case pins the zero-overhead-when-disabled guarantee (a nil recorder
+// costs one pointer check per run), the "on" case measures the per-cycle
+// attribution cost of the enabled recorder.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		traced bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			hw := config.MAERILike(256, 128)
+			hw.Preloaded = true
+			if cfg.traced {
+				hw.Trace = &trace.Config{}
+			}
+			acc, err := engine.New(hw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := dnn.NewRNG(9)
+			A := tensor.New(64, 64)
+			B := tensor.New(64, 64)
+			for _, d := range [][]float32{A.Data(), B.Data()} {
+				for i := range d {
+					d[i] = float32(rng.Normal())
+				}
+			}
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				_, run, err := acc.RunGEMM(A, B, "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = run.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
 }
 
 // --- Ablations ----------------------------------------------------------

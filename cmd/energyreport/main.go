@@ -41,7 +41,9 @@ func main() {
 	hw := config.MAERILike(*ms, 1) // only MSSize and GBSizeKB matter here
 	hw.GBSizeKB = *gbKB
 	run := &stats.Run{Cycles: cycles, Counters: counters}
-	energy.DefaultTable().Apply(run, &hw)
+	run.Breakdown = stats.BreakdownFromCounters(counters)
+	tbl := energy.DefaultTable()
+	tbl.Apply(run, &hw)
 
 	fmt.Printf("cycles: %d\n", cycles)
 	var total float64
@@ -56,6 +58,25 @@ func main() {
 		fmt.Printf("%-5s %12.4f µJ\n", c, v)
 	}
 	fmt.Printf("%-5s %12.4f µJ\n", "TOTAL", total)
+
+	// Counter files from traced runs carry the per-tier cycle attribution;
+	// report the leakage burned while each tier was not doing useful work.
+	if stalled := tbl.StalledStatic(run, &hw); stalled != nil {
+		fmt.Println("\nstatic energy spent in non-busy cycles (stall + drain + idle):")
+		tiers := make([]string, 0, len(stalled))
+		for t := range stalled {
+			tiers = append(tiers, t)
+		}
+		sort.Strings(tiers)
+		var stalledTotal float64
+		for _, t := range tiers {
+			b := run.Breakdown[t]
+			stalledTotal += stalled[t]
+			fmt.Printf("%-5s %12.4f µJ (%d of %d cycles non-busy)\n",
+				t, stalled[t], b.Total()-b.Busy, b.Total())
+		}
+		fmt.Printf("%-5s %12.4f µJ\n", "TOTAL", stalledTotal)
+	}
 }
 
 // parseCounterFile reads the "key=value" format of stats.Run.CounterFile.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|all> [flags]
+//	experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|all> [flags]
 //
 // Flags:
 //
@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/exp"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -69,6 +70,8 @@ func main() {
 			return fig9(ctx, *workers, *scale, tags)
 		case "fig9c":
 			return fig9c(ctx, *workers, *scale)
+		case "stalls":
+			return stalls(ctx, *workers, *scale)
 		default:
 			usage()
 			return fmt.Errorf("unknown experiment %q", name)
@@ -90,7 +93,35 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|all> [-scale N] [-models tags] [-images N] [-workers N]")
+	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|all> [-scale N] [-models tags] [-images N] [-workers N]")
+}
+
+// stalls prints the per-tier cycle-attribution table: MAERI under a
+// shrinking-bandwidth sweep against the rigid TPU reference. It is the
+// observability companion to fig1b — the same sweep, but showing where the
+// extra cycles go instead of just how many there are.
+func stalls(ctx context.Context, workers, scale int) error {
+	fmt.Println("== Stall breakdown — 128-mult MAERI bandwidth sweep vs 16x16 TPU ==")
+	rows, err := exp.StallBreakdownPar(ctx, workers, scale)
+	if err != nil {
+		return err
+	}
+	busy := func(b stats.CycleBreakdown) uint64 { return b.Busy }
+	sIn := func(b stats.CycleBreakdown) uint64 { return b.StallInput }
+	sBW := func(b stats.CycleBreakdown) uint64 { return b.StallBandwidth }
+	fmt.Printf("%-7s %4s %-7s %10s  %7s %8s %8s  %7s %8s %8s  %7s\n",
+		"Arch", "BW", "Layer", "Cycles",
+		"DNbusy", "DNst-in", "DNst-bw",
+		"MNbusy", "MNst-in", "MNst-bw", "MEMbusy")
+	for _, r := range rows {
+		fmt.Printf("%-7s %4d %-7s %10d  %6.1f%% %7.1f%% %7.1f%%  %6.1f%% %7.1f%% %7.1f%%  %6.1f%%\n",
+			r.Arch, r.BW, r.Layer, r.Cycles,
+			100*r.Frac("DN", busy), 100*r.Frac("DN", sIn), 100*r.Frac("DN", sBW),
+			100*r.Frac("MN", busy), 100*r.Frac("MN", sIn), 100*r.Frac("MN", sBW),
+			100*r.Frac("MEM", busy))
+	}
+	fmt.Println()
+	return nil
 }
 
 func tableI() error {

@@ -18,10 +18,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"time"
 
 	"repro/internal/dnn"
 	"repro/internal/sim"
 	"repro/internal/simpool"
+	"repro/internal/trace"
 	"repro/stonne"
 )
 
@@ -66,6 +69,8 @@ func main() {
 	steps := fs.Int("steps", 1, "SGD steps for the train subcommand")
 	batch := fs.Int("batch", 1, "independent runs with seeds seed..seed+batch-1 (gemm/spmm/conv)")
 	workers := fs.Int("workers", 0, "parallel simulation jobs for -batch (0 = GOMAXPROCS, 1 = serial)")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON cycle trace to this file (gemm/spmm/conv)")
+	progress := fs.Bool("progress", false, "print periodic per-job progress to stderr (gemm/spmm/conv)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -102,12 +107,23 @@ func main() {
 	for i := range seeds {
 		seeds[i] = *seed + uint64(i)
 	}
+	sink := newTraceSink(*traceOut != "", *progress)
 	runs, err := simpool.Map(context.Background(), *workers, seeds,
-		func(_ context.Context, _ int, sd uint64) (*stonne.Run, error) {
-			return runOp(hw, op, p, sd)
+		func(_ context.Context, i int, sd uint64) (*stonne.Run, error) {
+			h := hw
+			if cfg := sink.configFor(fmt.Sprintf("run %d (seed %d)", i, sd)); cfg != nil {
+				h.Trace = cfg
+			}
+			return runOp(h, op, p, sd)
 		})
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		if werr := sink.writeChrome(*traceOut); werr != nil {
+			fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in https://ui.perfetto.dev)\n", *traceOut)
 	}
 	for i, run := range runs {
 		if *batch > 1 {
@@ -194,6 +210,70 @@ func runOp(hw stonne.Hardware, op string, p opParams, seed uint64) (*stonne.Run,
 	return run, nil
 }
 
+// traceSink collects completed run traces and live progress samples from
+// concurrently executing jobs. Both hooks are invoked from pool worker
+// goroutines, so all state is mutex-guarded.
+type traceSink struct {
+	collect  bool
+	progress bool
+
+	mu        sync.Mutex
+	traces    []*trace.RunTrace
+	board     *simpool.Board
+	lastPrint time.Time
+}
+
+func newTraceSink(collect, progress bool) *traceSink {
+	return &traceSink{collect: collect, progress: progress, board: simpool.NewBoard()}
+}
+
+// configFor builds the per-job trace configuration, or nil when neither
+// tracing nor progress reporting is enabled (leaving the run untraced).
+func (s *traceSink) configFor(label string) *trace.Config {
+	if !s.collect && !s.progress {
+		return nil
+	}
+	cfg := &trace.Config{Label: label}
+	if s.collect {
+		cfg.OnComplete = s.complete
+	}
+	if s.progress {
+		cfg.ProgressEvery = 4096
+		cfg.OnProgress = s.onProgress
+	}
+	return cfg
+}
+
+func (s *traceSink) complete(rt *trace.RunTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces = append(s.traces, rt)
+	s.board.Finish(rt.Label)
+}
+
+// onProgress updates the board and prints a throttled status line (at most
+// twice per second, regardless of how many jobs report).
+func (s *traceSink) onProgress(p trace.Progress) {
+	s.board.Update(p.Label, p.Cycles, p.Outputs, p.Occupancy)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.lastPrint) >= 500*time.Millisecond {
+		s.lastPrint = now
+		fmt.Fprintf(os.Stderr, "progress: %s\n", s.board.Summary())
+	}
+}
+
+func (s *traceSink) writeChrome(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteChrome(f, s.traces)
+}
+
 func printRun(run *stonne.Run) {
 	fmt.Printf("accelerator : %s\n", run.Accelerator)
 	fmt.Printf("operation   : %s (M=%d N=%d K=%d)\n", run.Op, run.M, run.N, run.K)
@@ -206,6 +286,24 @@ func printRun(run *stonne.Run) {
 	for _, comp := range []string{"GB", "DN", "MN", "RN"} {
 		if v, ok := run.Energy[comp]; ok {
 			fmt.Printf("  %-4s %10.4f µJ\n", comp, v)
+		}
+	}
+	if len(run.Breakdown) > 0 {
+		fmt.Printf("cycle breakdown (%% of %d cycles):\n", run.Cycles)
+		fmt.Printf("  %-4s %7s %9s %9s %7s %7s\n", "tier", "busy", "stall-in", "stall-bw", "drain", "idle")
+		for _, tier := range []string{"DN", "MN", "RN", "MEM"} {
+			b, ok := run.Breakdown[tier]
+			if !ok {
+				continue
+			}
+			pct := func(v uint64) float64 {
+				if run.Cycles == 0 {
+					return 0
+				}
+				return 100 * float64(v) / float64(run.Cycles)
+			}
+			fmt.Printf("  %-4s %6.1f%% %8.1f%% %8.1f%% %6.1f%% %6.1f%%\n",
+				tier, pct(b.Busy), pct(b.StallInput), pct(b.StallBandwidth), pct(b.Drain), pct(b.Idle))
 		}
 	}
 }

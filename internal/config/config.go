@@ -10,6 +10,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"repro/internal/trace"
 )
 
 // DNType selects the distribution network (Section IV-A.1).
@@ -226,6 +228,12 @@ type Hardware struct {
 	Preloaded bool
 
 	DRAM DRAM
+
+	// Trace enables cycle attribution for runs on this configuration
+	// (per-tier busy/stall breakdowns, Chrome trace export, periodic
+	// progress callbacks). Nil disables tracing at zero per-cycle cost.
+	// It is runtime-only state carrying callbacks and is never serialized.
+	Trace *trace.Config `json:"-"`
 }
 
 // Validate reports a descriptive error for an inconsistent configuration.

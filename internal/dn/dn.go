@@ -4,6 +4,11 @@
 // network moves values from the Global Buffer read ports to multiplier
 // switches under a per-cycle bandwidth budget, and accounts the link/switch
 // activity the energy model consumes.
+//
+// The dn.active_cycles and dn.stall_cycles counters double as the trace
+// layer's classification probes (internal/trace): their per-cycle deltas
+// decide whether the DN tier was busy or bandwidth-stalled, so they must
+// keep firing on exactly the cycles the network moves or blocks packets.
 package dn
 
 import (

@@ -126,6 +126,36 @@ func (t Table) Apply(run *stats.Run, hw *config.Hardware) {
 	}
 }
 
+// StalledStatic estimates how much of each component's static energy (in
+// microjoules) was burned during non-busy cycles, using the run's per-tier
+// cycle breakdown. It answers the Fig. 5-style question "how much leakage
+// would a perfectly stall-free schedule save" — dynamic energy is activity
+// driven and unaffected by stalls, so only the static share is attributed.
+// Returns nil when the run carries no breakdown (untraced).
+func (t Table) StalledStatic(run *stats.Run, hw *config.Hardware) map[string]float64 {
+	if len(run.Breakdown) == 0 {
+		return nil
+	}
+	// Per-cycle static rates, mirroring the component split in Apply.
+	perMS := t.StaticPJPerCyclePerMS * float64(hw.MSSize)
+	rates := map[string]float64{
+		"DN":  perMS * 0.2,
+		"MN":  perMS * 0.4,
+		"RN":  perMS * 0.4,
+		"MEM": t.StaticPJPerCycleGBKB * float64(hw.GBSizeKB),
+	}
+	out := map[string]float64{}
+	for tier, b := range run.Breakdown {
+		rate, ok := rates[tier]
+		if !ok {
+			continue
+		}
+		stalled := b.Total() - b.Busy
+		out[tier] = rate * float64(stalled) * 1e-6 // pJ → µJ
+	}
+	return out
+}
+
 // ApplyModel fills energy for every run of a model aggregation.
 func (t Table) ApplyModel(m *stats.ModelRun, hw *config.Hardware) {
 	for _, r := range m.Runs {

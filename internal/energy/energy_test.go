@@ -115,3 +115,39 @@ func TestApplyModel(t *testing.T) {
 		t.Error("MN missing from model breakdown")
 	}
 }
+
+func TestStalledStatic(t *testing.T) {
+	hw := config.MAERILike(128, 64)
+	tab := DefaultTable()
+
+	// Untraced run: no breakdown, no report.
+	if got := tab.StalledStatic(&stats.Run{Cycles: 100}, &hw); got != nil {
+		t.Errorf("untraced run produced a stalled-static report: %v", got)
+	}
+
+	run := &stats.Run{
+		Cycles: 1000,
+		Breakdown: map[string]stats.CycleBreakdown{
+			"DN":  {Busy: 600, StallBandwidth: 400},
+			"MN":  {Busy: 1000},
+			"RN":  {Busy: 250, StallInput: 750},
+			"MEM": {Busy: 500, Idle: 500},
+		},
+	}
+	got := tab.StalledStatic(run, &hw)
+	perMS := tab.StaticPJPerCyclePerMS * float64(hw.MSSize)
+	want := map[string]float64{
+		"DN":  perMS * 0.2 * 400 * 1e-6,
+		"MN":  0, // fully busy: nothing wasted
+		"RN":  perMS * 0.4 * 750 * 1e-6,
+		"MEM": tab.StaticPJPerCycleGBKB * float64(hw.GBSizeKB) * 500 * 1e-6,
+	}
+	for tier, w := range want {
+		if math.Abs(got[tier]-w) > 1e-12 {
+			t.Errorf("%s: %v µJ, want %v", tier, got[tier], w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("tiers: %v", got)
+	}
+}

@@ -247,6 +247,7 @@ func (f *flexRun) run() error {
 		Done:     f.done,
 		Progress: func() int { return f.completed },
 		Err:      func() error { return f.fatal },
+		Draining: func() bool { return f.srcDone && f.cur == nil },
 		Deadlock: f.deadlock,
 	}
 	if err := k.Run(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // snapeaRunner is the SNAPEA-like composition (use case 2, Section VI-B):
@@ -230,6 +231,10 @@ func runSNAPEAConv(hw *config.Hardware, in, w *tensor.Tensor, cs tensor.ConvShap
 	ctx.Counters.Add(names.SNAPEASignChecks, signChecks)
 	ctx.Counters.Add(names.SNAPEACuts, cuts)
 	ctx.Counters.Add(names.SNAPEASavedMACs, savedMACs)
+	// The lane array only advances cycles while at least one lane works, so
+	// every counted cycle is busy across all tiers (coarse bulk attribution
+	// — the lanes fuse fetch, multiply and accumulate in one step).
+	ctx.Rec.AddSpanAll(trace.Busy, ctx.Cycles)
 	ctx.DRAM.WriteBack(cs.K * xo * yo)
 
 	m, n, kk := cs.GEMMDims()
@@ -322,6 +327,7 @@ func (sr *snapeaRunner) RunGEMM(A, B *tensor.Tensor, layer string) (*tensor.Tens
 	ctx.Counters.Add(names.GBReads, reads)
 	ctx.Counters.Add(names.GBWrites, writes)
 	ctx.Counters.Add(names.DNLinkTraversals, reads)
+	ctx.Rec.AddSpanAll(trace.Busy, ctx.Cycles) // see runSNAPEAConv
 	ctx.DRAM.WriteBack(m * n)
 	return C, ctx.Finish("GEMM", layer, m, n, k), nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // systolicRunner is the TPU-like composition (dense controller + PoPN +
@@ -134,6 +135,16 @@ func (s *systolicArray) runTile(A, B *tensor.Tensor, C []float32, m, n, k, mi0, 
 		}
 	}
 	s.Cycles += uint64(streamLen + systolicDrainCycles)
+	if s.Rec != nil {
+		// Bulk attribution for the rigid pipeline: the whole fabric works
+		// for the tile's stream phase and flushes during the fixed drain;
+		// the memory tier also serves the drain's output write-back.
+		for _, tier := range []int{trace.TierDN, trace.TierMN, trace.TierRN} {
+			s.Rec.AddSpan(tier, trace.Busy, uint64(streamLen))
+			s.Rec.AddSpan(tier, trace.Drain, systolicDrainCycles)
+		}
+		s.Rec.AddSpan(trace.TierMem, trace.Busy, uint64(streamLen+systolicDrainCycles))
+	}
 	s.cMults.Add(mults)
 	s.cAdders.Add(mults) // in-place accumulation chain (LRN)
 	s.cFwds.Add(fwds)

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// The attribution invariant the whole observability layer rests on: a
+// traced run classifies every simulated cycle into exactly one class per
+// tier, so each tier's breakdown sums to Run.Cycles exactly — across every
+// registered architecture, both operations, and with the initial-fill
+// phase included (Preloaded=false for the kernel architectures).
+func TestBreakdownSumsToCyclesAllArchs(t *testing.T) {
+	cs := tensor.ConvShape{R: 3, S: 3, C: 4, G: 1, K: 4, N: 1, X: 8, Y: 8, Stride: 1, Padding: 1}
+	gemmA := randTensor(0x11, 6, 8)
+	gemmB := randTensor(0x22, 8, 5)
+	convIn := randTensor(0x33, 1, 4, 8, 8)
+	convW := randTensor(0x44, 4, 4, 3, 3)
+
+	for _, arch := range sim.List() {
+		for _, preloaded := range []bool{true, false} {
+			hw := arch.Preset(64, 16)
+			hw.Preloaded = preloaded
+			hw.Trace = &trace.Config{SpanInterval: 64}
+			acc, err := New(hw)
+			if err != nil {
+				t.Fatalf("%s: %v", arch.Name, err)
+			}
+			for _, op := range []string{"gemm", "conv"} {
+				var run *stats.Run
+				if op == "gemm" {
+					_, run, err = acc.RunGEMM(gemmA, gemmB, "trace")
+				} else {
+					_, run, err = acc.RunConv(convIn, convW, cs, "trace")
+				}
+				if err != nil {
+					t.Fatalf("%s %s: %v", arch.Name, op, err)
+				}
+				if len(run.Breakdown) != trace.NumTiers {
+					t.Fatalf("%s %s: breakdown has %d tiers, want %d: %v",
+						arch.Name, op, len(run.Breakdown), trace.NumTiers, run.Breakdown)
+				}
+				for _, tier := range trace.TierNames {
+					b, ok := run.Breakdown[tier]
+					if !ok {
+						t.Fatalf("%s %s: tier %s missing", arch.Name, op, tier)
+					}
+					if got := b.Total(); got != run.Cycles {
+						t.Errorf("%s %s preloaded=%v: tier %s sums to %d, run has %d cycles (%+v)",
+							arch.Name, op, preloaded, tier, got, run.Cycles, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// An untraced run must not grow a breakdown or extra counters — that is
+// what keeps the parity goldens byte-identical.
+func TestUntracedRunHasNoBreakdown(t *testing.T) {
+	hw, err := sim.PresetHW("maeri", 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw.Preloaded = true
+	acc, err := New(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, run, err := acc.RunGEMM(randTensor(0x11, 6, 8), randTensor(0x22, 8, 5), "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Breakdown != nil {
+		t.Errorf("untraced run carries a breakdown: %v", run.Breakdown)
+	}
+	for k := range run.Counters {
+		if len(k) >= 6 && k[:6] == "trace." {
+			t.Errorf("untraced run leaked counter %q", k)
+		}
+	}
+}
+
+// A traced run's OnComplete trace must serialize into valid Chrome
+// trace_event JSON whose span durations per tier never exceed the cycle
+// count.
+func TestTracedRunEmitsValidChromeTrace(t *testing.T) {
+	hw, err := sim.PresetHW("maeri", 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw.Preloaded = true
+	var got *trace.RunTrace
+	hw.Trace = &trace.Config{Label: "unit", SpanInterval: 32, OnComplete: func(rt *trace.RunTrace) { got = rt }}
+	acc, err := New(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, run, err := acc.RunGEMM(randTensor(0x11, 6, 8), randTensor(0x22, 8, 5), "chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("OnComplete was not invoked")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, []*trace.RunTrace{got}); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+			Tid  int    `json:"tid"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	spanEnd := map[int]uint64{}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+		case "X":
+			spans++
+			if end := ev.Ts + ev.Dur; end > spanEnd[ev.Tid] {
+				spanEnd[ev.Tid] = end
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("trace has no span events")
+	}
+	for tid, end := range spanEnd {
+		if end > run.Cycles {
+			t.Errorf("track %d spans reach cycle %d, run has only %d", tid, end, run.Cycles)
+		}
+	}
+}

@@ -4,6 +4,10 @@
 // DRAMsim3 plays for the original tool, reduced to the first-order timing
 // behaviour the accelerator observes (bandwidth ceiling, row hit/miss
 // latency, prefetch overlap with compute).
+//
+// The gb.*/dram.* access counters double as the trace layer's busy probes
+// for the MEM tier, and ctrl.dram_wait_cycles as its bandwidth-stall probe
+// (internal/trace).
 package mem
 
 import (

@@ -3,6 +3,10 @@
 // it with streamed operands, with optional forwarding links between
 // neighbouring switches (Linear MN) that exploit the sliding-window reuse
 // of convolutions.
+//
+// The mn.active_cycles counter doubles as the trace layer's busy probe for
+// the MN tier (internal/trace): it must fire exactly on cycles where at
+// least one multiplier produced work.
 package mn
 
 import (

@@ -4,6 +4,10 @@
 // Network (FAN, 2:1 adders), and the Linear Reduction Network of rigid
 // designs. A reduction network turns per-step product sets of each virtual
 // neuron into outputs, pipelined, under a per-cycle output-port budget.
+//
+// The rn.active_cycles / adder counters and the rn.output_stalls /
+// rn.input_stalls back-pressure counters double as the trace layer's busy
+// and bandwidth-stall probes for the RN tier (internal/trace).
 package rn
 
 import (

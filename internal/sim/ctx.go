@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"fmt"
+
 	"repro/internal/comp"
 	"repro/internal/comp/names"
 	"repro/internal/config"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // DeadlockWindow is the number of cycles without any observable progress
@@ -28,6 +31,12 @@ type Ctx struct {
 	DRAM     *mem.DRAM
 	Cycles   uint64
 
+	// Rec is the per-run cycle-attribution recorder, nil unless the
+	// hardware configuration enables tracing. Runners attribute through it
+	// (the kernel per tick, non-pipelined compositions in bulk spans); all
+	// Recorder methods are nil-safe.
+	Rec *trace.Recorder
+
 	// Pre-resolved results-path handles: Finish reads totals through these
 	// instead of string-keyed lookups.
 	cMults, cGBReads, cGBWrites comp.Counter
@@ -36,7 +45,7 @@ type Ctx struct {
 // NewCtx builds the per-run context for one operation on hw.
 func NewCtx(hw *config.Hardware) *Ctx {
 	c := comp.NewCounters()
-	return &Ctx{
+	ctx := &Ctx{
 		HW:        hw,
 		Counters:  c,
 		GB:        mem.NewGlobalBuffer(hw, c),
@@ -45,6 +54,19 @@ func NewCtx(hw *config.Hardware) *Ctx {
 		cGBReads:  c.Counter(names.GBReads),
 		cGBWrites: c.Counter(names.GBWrites),
 	}
+	if hw.Trace != nil {
+		ctx.Rec = trace.NewRecorder(c, hw.Trace)
+	}
+	return ctx
+}
+
+// UtilizationSoFar is the multiplier busy fraction up to the current cycle,
+// used by the periodic progress hook.
+func (c *Ctx) UtilizationSoFar() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.cMults.Value()) / (float64(c.Cycles) * float64(c.HW.MSSize))
 }
 
 // Finish assembles the Run record.
@@ -54,7 +76,7 @@ func (c *Ctx) Finish(op, layer string, m, n, k int) *stats.Run {
 	if c.Cycles > 0 {
 		util = float64(mults) / (float64(c.Cycles) * float64(c.HW.MSSize))
 	}
-	return &stats.Run{
+	run := &stats.Run{
 		Accelerator: c.HW.Name,
 		Op:          op,
 		Layer:       layer,
@@ -65,11 +87,17 @@ func (c *Ctx) Finish(op, layer string, m, n, k int) *stats.Run {
 		Utilization: util,
 		Counters:    c.Counters.Snapshot(),
 	}
+	if c.Rec != nil {
+		rt := c.Rec.Finalize(fmt.Sprintf("%s %s %s", c.HW.Name, op, layer))
+		run.Breakdown = rt.Breakdown()
+	}
+	return run
 }
 
 // InitialFill charges the unavoidable DRAM latency of streaming the first
 // working set into the Global Buffer before compute can start; later
-// transfers double-buffer behind compute.
+// transfers double-buffer behind compute. The fill is attributed as memory
+// busy time during which the fabric tiers wait on bandwidth.
 func (c *Ctx) InitialFill(elems int) {
 	if c.HW.Preloaded {
 		return
@@ -81,4 +109,11 @@ func (c *Ctx) InitialFill(elems int) {
 	fill := uint64(c.DRAM.FetchCycles(elems))
 	c.Cycles += fill
 	c.Counters.Add(names.DRAMInitialFillCycles, fill)
+	if c.Rec != nil {
+		c.Rec.AddSpan(trace.TierMem, trace.Busy, fill)
+		c.Rec.AddSpan(trace.TierDN, trace.StallBandwidth, fill)
+		c.Rec.AddSpan(trace.TierMN, trace.StallBandwidth, fill)
+		c.Rec.AddSpan(trace.TierRN, trace.StallBandwidth, fill)
+		c.Rec.Sync()
+	}
 }

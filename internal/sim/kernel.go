@@ -17,7 +17,13 @@ import "fmt"
 //   - Done reports run completion; the loop exits without a final tick.
 //   - Progress returns a value that changes whenever the run moved forward
 //     (completed outputs); the watchdog resets on change.
-//   - Err surfaces a fatal controller error raised during Control.
+//   - Err surfaces a fatal error; it is checked after Control and again
+//     after the fabric ticks, so an error raised mid-cycle by a Tickable
+//     aborts the same cycle instead of leaking into the next (or being
+//     swallowed entirely when Done flips first).
+//   - Draining optionally reports that the schedule source is exhausted;
+//     the cycle recorder uses it to classify end-of-run pipeline flushing
+//     as drain rather than idle. Nil means never draining.
 //   - Deadlock renders the abort diagnostic; nil falls back to a generic
 //     message.
 type Kernel struct {
@@ -27,13 +33,18 @@ type Kernel struct {
 	Done     func() bool
 	Progress func() int
 	Err      func() error
+	Draining func() bool
 	Deadlock func(window uint64) error
 }
 
-// Run executes the cycle loop to completion (or watchdog abort).
+// Run executes the cycle loop to completion (or watchdog abort). When the
+// context carries a cycle recorder, every cycle is attributed per tier; a
+// nil recorder costs one pointer check per run, not per cycle, because the
+// check is hoisted out of the per-cycle work.
 func (k *Kernel) Run() error {
 	lastProgress := k.Ctx.Cycles
 	lastState := -1
+	rec := k.Ctx.Rec
 	for !k.Done() {
 		k.Control()
 		if err := k.Err(); err != nil {
@@ -43,10 +54,20 @@ func (k *Kernel) Run() error {
 			t.Cycle()
 		}
 		k.Ctx.Cycles++
+		if err := k.Err(); err != nil {
+			return err
+		}
 
-		if state := k.Progress(); state != lastState {
+		state := k.Progress()
+		if state != lastState {
 			lastState = state
 			lastProgress = k.Ctx.Cycles
+		}
+		if rec != nil {
+			rec.Tick(k.Draining != nil && k.Draining())
+			if rec.ProgressDue(k.Ctx.Cycles) {
+				rec.EmitProgress(k.Ctx.Cycles, state, k.Ctx.UtilizationSoFar())
+			}
 		}
 		if k.Ctx.Cycles-lastProgress > DeadlockWindow {
 			if k.Deadlock != nil {

@@ -70,6 +70,42 @@ func TestKernelErrAborts(t *testing.T) {
 	}
 }
 
+// failingTick raises its error through the Err hook the moment it is
+// ticked — the mid-cycle fault path.
+type failingTick struct {
+	err  *error
+	boom error
+}
+
+func (f failingTick) Cycle() { *f.err = f.boom }
+
+// An error raised by a Tickable during the fabric ticks must abort that
+// same cycle even when Done would flip true first — the late Err check.
+// Before the fix, Run only consulted Err after Control, so a fault raised
+// mid-cycle on the final cycle was swallowed and the run reported success.
+func TestKernelErrRaisedByTickableAborts(t *testing.T) {
+	ctx := testCtx()
+	boom := errors.New("fabric fault")
+	var tickErr error
+	done := false
+	k := &Kernel{
+		Ctx:     ctx,
+		Control: func() {},
+		Ticks:   []Tickable{failingTick{&tickErr, boom}},
+		// Done flips after the first cycle: without the post-tick Err
+		// check the loop would exit cleanly and drop the error.
+		Done:     func() bool { d := done; done = true; return d },
+		Progress: func() int { return 0 },
+		Err:      func() error { return tickErr },
+	}
+	if err := k.Run(); !errors.Is(err, boom) {
+		t.Errorf("Run() = %v, want the fabric fault", err)
+	}
+	if ctx.Cycles != 1 {
+		t.Errorf("Cycles = %d, want 1 (abort in the faulting cycle)", ctx.Cycles)
+	}
+}
+
 func TestKernelWatchdog(t *testing.T) {
 	ctx := testCtx()
 	k := &Kernel{

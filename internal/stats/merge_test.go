@@ -1,6 +1,10 @@
 package stats
 
-import "testing"
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
 
 func TestRunMerge(t *testing.T) {
 	dst := &Run{
@@ -52,5 +56,142 @@ func TestMergeThenRecompute(t *testing.T) {
 	a.RecomputeUtilization(8)
 	if got, want := a.Utilization, 240.0/(40.0*8.0); got != want {
 		t.Errorf("merged utilization = %v, want %v", got, want)
+	}
+}
+
+// Merging into a zero-value Run must allocate every destination map on
+// demand instead of panicking, and must carry energy/area/breakdown along
+// with the counters — the sparse engine merges per-group runs this way.
+func TestMergeIntoZeroValueRun(t *testing.T) {
+	src := &Run{
+		Cycles: 100, MACs: 10, MemAccesses: 5,
+		Counters:  map[string]uint64{"mn.mults": 10},
+		Breakdown: map[string]CycleBreakdown{"MN": {Busy: 60, StallInput: 40}},
+		Energy:    map[string]float64{"MN": 1.5},
+		AreaUM2:   map[string]float64{"MN": 250},
+	}
+	var agg Run
+	agg.Merge(src)
+	agg.Merge(src)
+	if agg.Cycles != 200 || agg.MACs != 20 || agg.MemAccesses != 10 {
+		t.Errorf("scalars: %+v", agg)
+	}
+	if agg.Counters["mn.mults"] != 20 {
+		t.Errorf("counters: %v", agg.Counters)
+	}
+	if b := agg.Breakdown["MN"]; b.Busy != 120 || b.StallInput != 80 {
+		t.Errorf("breakdown: %+v", b)
+	}
+	if agg.Energy["MN"] != 3.0 {
+		t.Errorf("energy dropped: %v", agg.Energy)
+	}
+	if agg.AreaUM2["MN"] != 500 {
+		t.Errorf("area dropped: %v", agg.AreaUM2)
+	}
+}
+
+// A source with empty maps must not allocate destination maps (merged runs
+// without energy stay omitempty in JSON).
+func TestMergeKeepsNilMapsForEmptySources(t *testing.T) {
+	var agg Run
+	agg.Merge(&Run{Cycles: 7})
+	if agg.Counters != nil || agg.Breakdown != nil || agg.Energy != nil || agg.AreaUM2 != nil {
+		t.Errorf("maps allocated for empty source: %+v", agg)
+	}
+	if agg.Cycles != 7 {
+		t.Errorf("cycles: %d", agg.Cycles)
+	}
+}
+
+// Multi-round merge in the sparse-engine style: several partial runs with
+// disjoint and overlapping keys accumulate into one aggregate.
+func TestMergeMultiRound(t *testing.T) {
+	rounds := []*Run{
+		{Cycles: 10, Counters: map[string]uint64{"gb.reads": 4},
+			Energy: map[string]float64{"GB": 0.5}},
+		{Cycles: 20, Counters: map[string]uint64{"gb.reads": 6, "mn.mults": 8},
+			Energy: map[string]float64{"GB": 0.25, "MN": 1.0}},
+		{Cycles: 30, Breakdown: map[string]CycleBreakdown{"MEM": {Busy: 30}}},
+	}
+	agg := &Run{}
+	for _, r := range rounds {
+		agg.Merge(r)
+	}
+	agg.RecomputeUtilization(4)
+	if agg.Cycles != 60 {
+		t.Errorf("cycles: %d", agg.Cycles)
+	}
+	if agg.Counters["gb.reads"] != 10 || agg.Counters["mn.mults"] != 8 {
+		t.Errorf("counters: %v", agg.Counters)
+	}
+	if agg.Energy["GB"] != 0.75 || agg.Energy["MN"] != 1.0 {
+		t.Errorf("energy: %v", agg.Energy)
+	}
+	if agg.Breakdown["MEM"].Busy != 30 {
+		t.Errorf("breakdown: %v", agg.Breakdown)
+	}
+}
+
+// The doc fix pins the semantics: utilization is cycle-weighted, so a long
+// efficient layer dominates a short inefficient one.
+func TestAvgUtilizationCycleWeighted(t *testing.T) {
+	mr := &ModelRun{Runs: []*Run{
+		{Cycles: 100, Utilization: 0.5},
+		{Cycles: 300, Utilization: 1.0},
+	}}
+	// (0.5·100 + 1.0·300) / 400 = 0.875 — not the MAC-weighted or plain mean.
+	if got := mr.AvgUtilization(); got != 0.875 {
+		t.Errorf("avg utilization = %v, want 0.875", got)
+	}
+}
+
+// A run without a layer name must not leave a trailing space in the counter
+// file header.
+func TestCounterFileNoTrailingSpaceWithoutLayer(t *testing.T) {
+	r := sampleRun()
+	r.Layer = ""
+	s := r.CounterFile()
+	header, _, ok := strings.Cut(s, "\n")
+	if !ok {
+		t.Fatalf("no header line:\n%s", s)
+	}
+	if strings.HasSuffix(header, " ") {
+		t.Errorf("header has trailing space: %q", header)
+	}
+	if want := "# STONNE counter file: MAERI-like CONV"; header != want {
+		t.Errorf("header = %q, want %q", header, want)
+	}
+}
+
+// Counter-file emission and BreakdownFromCounters are inverses.
+func TestBreakdownCounterFileRoundTrip(t *testing.T) {
+	r := sampleRun()
+	r.Breakdown = map[string]CycleBreakdown{
+		"DN":  {Busy: 700, StallBandwidth: 300},
+		"MEM": {Busy: 400, Idle: 600},
+	}
+	s := r.CounterFile()
+	if !strings.Contains(s, "trace.dn.busy_cycles=700\n") ||
+		!strings.Contains(s, "trace.mem.idle_cycles=600\n") {
+		t.Fatalf("missing trace lines:\n%s", s)
+	}
+	counters := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimSpace(s), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, _ := strings.Cut(line, "=")
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		counters[key] = n
+	}
+	got := BreakdownFromCounters(counters)
+	if got["DN"] != r.Breakdown["DN"] || got["MEM"] != r.Breakdown["MEM"] {
+		t.Errorf("round trip: %+v", got)
+	}
+	if BreakdownFromCounters(map[string]uint64{"mn.mults": 1}) != nil {
+		t.Error("non-trace counters produced a breakdown")
 	}
 }

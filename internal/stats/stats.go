@@ -34,22 +34,75 @@ type Run struct {
 
 	Counters map[string]uint64 `json:"counters"`
 
+	// Breakdown is the per-tier cycle attribution filled in when the run
+	// was traced (internal/trace): for every tier the busy/stall/drain/idle
+	// cycle counts sum exactly to Cycles.
+	Breakdown map[string]CycleBreakdown `json:"breakdown,omitempty"`
+
 	// Energy in microjoules by component, filled in by the energy model.
 	Energy map[string]float64 `json:"energy_uj,omitempty"`
 	// AreaUM2 by component, filled in by the area model.
 	AreaUM2 map[string]float64 `json:"area_um2,omitempty"`
 }
 
+// CycleBreakdown attributes one tier's share of a run's cycles: exactly one
+// class per cycle, so Total() equals the run's cycle count.
+type CycleBreakdown struct {
+	Busy           uint64 `json:"busy"`
+	StallInput     uint64 `json:"stall_input"`
+	StallBandwidth uint64 `json:"stall_bandwidth"`
+	Drain          uint64 `json:"drain"`
+	Idle           uint64 `json:"idle"`
+}
+
+// Total sums all attribution classes.
+func (b CycleBreakdown) Total() uint64 {
+	return b.Busy + b.StallInput + b.StallBandwidth + b.Drain + b.Idle
+}
+
+// Accumulate adds another breakdown's counts into b.
+func (b *CycleBreakdown) Accumulate(o CycleBreakdown) {
+	b.Busy += o.Busy
+	b.StallInput += o.StallInput
+	b.StallBandwidth += o.StallBandwidth
+	b.Drain += o.Drain
+	b.Idle += o.Idle
+}
+
 // Merge accumulates another run's raw totals into r: cycles, performed
-// MACs, memory accesses and every activity counter. Derived metrics
-// (Utilization) are not touched — call RecomputeUtilization once all parts
-// are merged.
+// MACs, memory accesses, every activity counter, the cycle breakdown, and
+// the energy/area maps — allocating destination maps on demand so merging
+// into a zero-value Run works. Derived metrics (Utilization) are not
+// touched — call RecomputeUtilization once all parts are merged.
 func (r *Run) Merge(src *Run) {
 	r.Cycles += src.Cycles
 	r.MACs += src.MACs
 	r.MemAccesses += src.MemAccesses
+	if len(src.Counters) > 0 && r.Counters == nil {
+		r.Counters = make(map[string]uint64, len(src.Counters))
+	}
 	for k, v := range src.Counters {
 		r.Counters[k] += v
+	}
+	if len(src.Breakdown) > 0 && r.Breakdown == nil {
+		r.Breakdown = make(map[string]CycleBreakdown, len(src.Breakdown))
+	}
+	for tier, b := range src.Breakdown {
+		agg := r.Breakdown[tier]
+		agg.Accumulate(b)
+		r.Breakdown[tier] = agg
+	}
+	if len(src.Energy) > 0 && r.Energy == nil {
+		r.Energy = make(map[string]float64, len(src.Energy))
+	}
+	for k, v := range src.Energy {
+		r.Energy[k] += v
+	}
+	if len(src.AreaUM2) > 0 && r.AreaUM2 == nil {
+		r.AreaUM2 = make(map[string]float64, len(src.AreaUM2))
+	}
+	for k, v := range src.AreaUM2 {
+		r.AreaUM2[k] += v
 	}
 }
 
@@ -83,8 +136,24 @@ func (r *Run) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// breakdownClasses maps each CycleBreakdown field to its counter-file key
+// suffix, in emission order.
+var breakdownClasses = []struct {
+	suffix string
+	get    func(CycleBreakdown) uint64
+	set    func(*CycleBreakdown, uint64)
+}{
+	{"busy_cycles", func(b CycleBreakdown) uint64 { return b.Busy }, func(b *CycleBreakdown, v uint64) { b.Busy = v }},
+	{"stall_input_cycles", func(b CycleBreakdown) uint64 { return b.StallInput }, func(b *CycleBreakdown, v uint64) { b.StallInput = v }},
+	{"stall_bandwidth_cycles", func(b CycleBreakdown) uint64 { return b.StallBandwidth }, func(b *CycleBreakdown, v uint64) { b.StallBandwidth = v }},
+	{"drain_cycles", func(b CycleBreakdown) uint64 { return b.Drain }, func(b *CycleBreakdown, v uint64) { b.Drain = v }},
+	{"idle_cycles", func(b CycleBreakdown) uint64 { return b.Idle }, func(b *CycleBreakdown, v uint64) { b.Idle = v }},
+}
+
 // CounterFile renders the customized counter-file format: one
-// component.event=count line per activity class, sorted.
+// component.event=count line per activity class, sorted, followed by the
+// cycle-attribution lines (trace.<tier>.<class>=count) when the run was
+// traced.
 func (r *Run) CounterFile() string {
 	keys := make([]string, 0, len(r.Counters))
 	for k := range r.Counters {
@@ -92,12 +161,56 @@ func (r *Run) CounterFile() string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	fmt.Fprintf(&b, "# STONNE counter file: %s %s %s\n", r.Accelerator, r.Op, r.Layer)
+	header := strings.TrimRight(fmt.Sprintf("# STONNE counter file: %s %s %s", r.Accelerator, r.Op, r.Layer), " ")
+	fmt.Fprintf(&b, "%s\n", header)
 	fmt.Fprintf(&b, "cycles=%d\n", r.Cycles)
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%s=%d\n", k, r.Counters[k])
 	}
+	if len(r.Breakdown) > 0 {
+		tiers := make([]string, 0, len(r.Breakdown))
+		for tier := range r.Breakdown {
+			tiers = append(tiers, tier)
+		}
+		sort.Strings(tiers)
+		for _, tier := range tiers {
+			bd := r.Breakdown[tier]
+			for _, c := range breakdownClasses {
+				fmt.Fprintf(&b, "trace.%s.%s=%d\n", strings.ToLower(tier), c.suffix, c.get(bd))
+			}
+		}
+	}
 	return b.String()
+}
+
+// BreakdownFromCounters reconstructs a cycle breakdown from the
+// trace.<tier>.<class> lines of a parsed counter file (the inverse of the
+// CounterFile emission). It returns nil when no trace lines are present.
+func BreakdownFromCounters(counters map[string]uint64) map[string]CycleBreakdown {
+	var out map[string]CycleBreakdown
+	for key, v := range counters {
+		rest, ok := strings.CutPrefix(key, "trace.")
+		if !ok {
+			continue
+		}
+		tier, suffix, ok := strings.Cut(rest, ".")
+		if !ok {
+			continue
+		}
+		for _, c := range breakdownClasses {
+			if suffix != c.suffix {
+				continue
+			}
+			if out == nil {
+				out = map[string]CycleBreakdown{}
+			}
+			name := strings.ToUpper(tier)
+			bd := out[name]
+			c.set(&bd, v)
+			out[name] = bd
+		}
+	}
+	return out
 }
 
 // ModelRun aggregates the per-layer runs of a full-model inference.
@@ -154,7 +267,9 @@ func (m *ModelRun) TotalEnergy() float64 {
 	return t
 }
 
-// AvgUtilization is the MAC-weighted mean multiplier utilization.
+// AvgUtilization is the cycle-weighted mean multiplier utilization: each
+// layer's busy fraction weighted by how long it ran, i.e. the average busy
+// fraction over the whole model execution.
 func (m *ModelRun) AvgUtilization() float64 {
 	var wsum, w float64
 	for _, r := range m.Runs {

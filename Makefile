@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet trace-demo
+.PHONY: build test race bench vet trace-demo checksweep fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,24 @@ bench:
 trace-demo:
 	$(GO) run ./cmd/stonne gemm -arch maeri -ms 64 -bw 16 -M 32 -N 32 -K 64 -trace /tmp/stonne-trace-demo.json
 	$(GO) run ./cmd/tracecheck /tmp/stonne-trace-demo.json
+
+# checksweep runs every registered architecture × {GEMM, conv, sparse} over
+# the edge-case shape grid and verifies each simulated output against the
+# CPU reference under the architecture's numeric contract.
+checksweep:
+	$(GO) run ./cmd/experiments checksweep
+
+# Go's native fuzzer accepts one -fuzz pattern per invocation, so each
+# target gets its own run. FUZZTIME scales both flavours: fuzz-smoke is the
+# CI budget, fuzz a longer local soak.
+FUZZ_TARGETS = FuzzGEMMDispatch FuzzConvTile FuzzSparseRoundTrip
+
+fuzz-smoke: FUZZTIME ?= 30s
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "== $$t ($(FUZZTIME)) =="; \
+		$(GO) test ./internal/check/ -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+
+fuzz: FUZZTIME ?= 3m
+fuzz: fuzz-smoke

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|all> [flags]
+//	experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|checksweep|all> [flags]
 //
 // Flags:
 //
@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/check"
 	"repro/internal/dnn"
 	"repro/internal/exp"
 	"repro/internal/stats"
@@ -72,6 +73,8 @@ func main() {
 			return fig9c(ctx, *workers, *scale)
 		case "stalls":
 			return stalls(ctx, *workers, *scale)
+		case "checksweep":
+			return checksweep()
 		default:
 			usage()
 			return fmt.Errorf("unknown experiment %q", name)
@@ -93,7 +96,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|all> [-scale N] [-models tags] [-images N] [-workers N]")
+	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|checksweep|all> [-scale N] [-models tags] [-images N] [-workers N]")
+}
+
+// checksweep runs the differential verification sweep: every registered
+// architecture × {GEMM, conv, sparse} × a grid of edge-case shapes, each
+// simulated output compared element-wise against the CPU reference under
+// the architecture's numeric contract. Exits non-zero on any mismatch.
+func checksweep() error {
+	fmt.Println("== Differential self-check sweep — all architectures vs CPU reference ==")
+	return check.WriteSweep(os.Stdout)
 }
 
 // stalls prints the per-tier cycle-attribution table: MAERI under a

@@ -69,6 +69,7 @@ func main() {
 	steps := fs.Int("steps", 1, "SGD steps for the train subcommand")
 	batch := fs.Int("batch", 1, "independent runs with seeds seed..seed+batch-1 (gemm/spmm/conv)")
 	workers := fs.Int("workers", 0, "parallel simulation jobs for -batch (0 = GOMAXPROCS, 1 = serial)")
+	selfcheck := fs.Bool("selfcheck", false, "verify every simulated output against the CPU reference (gemm/spmm/conv)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON cycle trace to this file (gemm/spmm/conv)")
 	progress := fs.Bool("progress", false, "print periodic per-job progress to stderr (gemm/spmm/conv)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
@@ -98,7 +99,7 @@ func main() {
 		M: *mDim, N: *nDim, K: *kDim,
 		R: *rDim, S: *sDim, C: *cDim, G: *gDim, Kf: *kFil,
 		X: *xDim, Y: *yDim, Stride: *stride, Pad: *pad,
-		Sparsity: *sparsity, Policy: *policy,
+		Sparsity: *sparsity, Policy: *policy, SelfCheck: *selfcheck,
 	}
 	if *batch < 1 {
 		*batch = 1
@@ -141,6 +142,11 @@ func main() {
 			}
 		}
 	}
+	if *selfcheck {
+		// A failed check surfaces as a run error above, so reaching this
+		// point means every output matched the CPU reference.
+		fmt.Printf("self-check  : %d run(s) verified against the CPU reference\n", len(runs))
+	}
 }
 
 // opParams carries the operation shape so batched runs can rebuild their
@@ -151,6 +157,7 @@ type opParams struct {
 	Stride, Pad          int
 	Sparsity             float64
 	Policy               string
+	SelfCheck            bool
 }
 
 // runOp simulates one gemm/spmm/conv with tensors derived from seed. Each
@@ -159,6 +166,9 @@ func runOp(hw stonne.Hardware, op string, p opParams, seed uint64) (*stonne.Run,
 	inst, err := stonne.CreateInstance(hw)
 	if err != nil {
 		return nil, err
+	}
+	if p.SelfCheck {
+		inst.EnableSelfCheck()
 	}
 	rng := dnn.NewRNG(seed)
 	randTensor := func(shape ...int) *stonne.Tensor {

@@ -1,0 +1,219 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Op names the workload kind a Case exercises.
+type Op int
+
+const (
+	// OpGEMM is a dense matrix multiply.
+	OpGEMM Op = iota
+	// OpConv is a convolution.
+	OpConv
+	// OpSparse is a matrix multiply with a pruned (sparse) stationary
+	// operand — SpMM on the sparse controller, zero-heavy GEMM elsewhere.
+	OpSparse
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGEMM:
+		return "gemm"
+	case OpConv:
+		return "conv"
+	case OpSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Case is one self-contained differential-check workload: an architecture,
+// a fabric configuration, a workload shape and the data seed. Cases built
+// by RandomCase are valid by construction — every constraint the target
+// architecture imposes (square fabrics, window fits, batch-1) is satisfied —
+// so any error or tolerance failure Run reports is a real bug.
+type Case struct {
+	Arch     string
+	Op       Op
+	MS, BW   int
+	M, N, K  int              // GEMM / sparse dims
+	CS       tensor.ConvShape // conv shape (Op == OpConv)
+	Sparsity float64          // fraction of zeros pruned into A (Op == OpSparse)
+	Policy   sched.Policy     // sparse-controller scheduling policy
+	Seed     uint64           // data seed
+}
+
+func (c Case) String() string {
+	switch c.Op {
+	case OpConv:
+		return fmt.Sprintf("%s/conv ms=%d bw=%d %+v seed=%#x", c.Arch, c.MS, c.BW, c.CS, c.Seed)
+	case OpSparse:
+		return fmt.Sprintf("%s/sparse ms=%d bw=%d %dx%dx%d sp=%.2f %v seed=%#x",
+			c.Arch, c.MS, c.BW, c.M, c.N, c.K, c.Sparsity, c.Policy, c.Seed)
+	default:
+		return fmt.Sprintf("%s/gemm ms=%d bw=%d %dx%dx%d seed=%#x", c.Arch, c.MS, c.BW, c.M, c.N, c.K, c.Seed)
+	}
+}
+
+// HW resolves the case's preset hardware configuration.
+func (c Case) HW() (config.Hardware, error) {
+	return sim.PresetHW(c.Arch, c.MS, c.BW)
+}
+
+// splitmix is the deterministic generator behind RandomCase and the data
+// fill — the same finalizer sched's RDM shuffle uses.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitmix) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *splitmix) float32() float32 {
+	return float32(r.next()>>40)/float32(1<<24)*2 - 1 // uniform [-1, 1)
+}
+
+// RandomCase derives a valid workload/configuration case from a seed. Equal
+// seeds produce equal cases.
+func RandomCase(seed uint64) Case {
+	r := splitmix{s: seed ^ 0xc0ffee}
+	names := sim.Names()
+	c := Case{
+		Arch: names[r.intn(len(names))],
+		Op:   Op(r.intn(int(numOps))),
+		Seed: r.next(),
+	}
+	// Fabric: the systolic preset needs a square PE count; everything else
+	// takes any power of two. Keep sizes modest so cases run in
+	// milliseconds.
+	if c.Arch == "tpu" {
+		c.MS = []int{16, 64, 256}[r.intn(3)]
+	} else {
+		c.MS = 8 << r.intn(6) // 8..256
+	}
+	c.BW = 4 << r.intn(5) // 4..64
+	switch c.Op {
+	case OpConv:
+		cs := tensor.ConvShape{
+			R: 1 + r.intn(3), S: 1 + r.intn(3),
+			Stride:  1 + r.intn(2),
+			Padding: r.intn(2),
+		}
+		// The flexible dense mapper folds windows over the fabric but the
+		// filter plane itself must fit: R·S ≤ MS holds for every generated
+		// combination (3·3 = 9 > 8 is the one excluded corner).
+		for cs.R*cs.S > c.MS {
+			cs.S--
+		}
+		cs.G = 1 + r.intn(2)
+		cs.C = cs.G * (1 + r.intn(4))
+		cs.K = cs.G * (1 + r.intn(4))
+		cs.N = 1
+		if c.Arch != "snapea" { // SNAPEA models batch-1 inference only
+			cs.N += r.intn(2)
+		}
+		cs.X = cs.R + r.intn(6)
+		cs.Y = cs.S + r.intn(6)
+		c.CS = cs
+	case OpSparse:
+		c.M, c.N, c.K = 1+r.intn(24), 1+r.intn(24), 1+r.intn(24)
+		c.Sparsity = []float64{0, 0.3, 0.5, 0.8, 1}[r.intn(5)]
+		c.Policy = []sched.Policy{sched.NS, sched.RDM, sched.LFF}[r.intn(3)]
+	default:
+		c.M, c.N, c.K = 1+r.intn(24), 1+r.intn(24), 1+r.intn(24)
+	}
+	return c
+}
+
+// Run simulates the case on its architecture and differentially verifies
+// the output tensor against the CPU reference. The returned report is
+// non-nil whenever the simulation itself succeeded.
+func (c Case) Run() (*Report, error) {
+	hw, err := c.HW()
+	if err != nil {
+		return nil, err
+	}
+	acc, err := engine.New(hw)
+	if err != nil {
+		return nil, fmt.Errorf("check: %s: %w", c, err)
+	}
+	r := splitmix{s: c.Seed ^ 0xda7a}
+	switch c.Op {
+	case OpConv:
+		cs := c.CS
+		w := randTensor(&r, cs.K, cs.C/cs.G, cs.R, cs.S)
+		in := randTensor(&r, cs.N, cs.C, cs.X, cs.Y)
+		// Activations are post-ReLU non-negative — the soundness condition
+		// of SNAPEA's early cut, and the regime every conv arch targets.
+		in.Apply(func(x float32) float32 {
+			if x < 0 {
+				return 0
+			}
+			return x
+		})
+		got, _, err := acc.RunConv(in, w, cs, "selfcheck")
+		if err != nil {
+			return nil, fmt.Errorf("check: %s: %w", c, err)
+		}
+		return VerifyConv(hw, in, w, cs, got)
+	case OpSparse:
+		A := randTensor(&r, c.M, c.K)
+		prune(&r, A, c.Sparsity)
+		B := randTensor(&r, c.K, c.N)
+		if acc.SupportsScheduling() {
+			pol := c.Policy
+			got, _, err := acc.RunSpMM(A, B, "selfcheck", &pol)
+			if err != nil {
+				return nil, fmt.Errorf("check: %s: %w", c, err)
+			}
+			return VerifySpMM(hw, A, B, got)
+		}
+		got, _, err := acc.RunGEMM(A, B, "selfcheck")
+		if err != nil {
+			return nil, fmt.Errorf("check: %s: %w", c, err)
+		}
+		return VerifyGEMM(hw, A, B, got)
+	default:
+		A := randTensor(&r, c.M, c.K)
+		B := randTensor(&r, c.K, c.N)
+		got, _, err := acc.RunGEMM(A, B, "selfcheck")
+		if err != nil {
+			return nil, fmt.Errorf("check: %s: %w", c, err)
+		}
+		return VerifyGEMM(hw, A, B, got)
+	}
+}
+
+func randTensor(r *splitmix, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	d := t.Data()
+	for i := range d {
+		d[i] = r.float32()
+	}
+	return t
+}
+
+// prune zeroes each element independently with probability sparsity.
+func prune(r *splitmix, t *tensor.Tensor, sparsity float64) {
+	d := t.Data()
+	for i := range d {
+		if float64(r.next()>>11)/float64(1<<53) < sparsity {
+			d[i] = 0
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package check
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// SweepResult is one case of a differential sweep with its outcome. Err is
+// set when the case could not run at all; Report carries the comparison.
+type SweepResult struct {
+	Case   Case
+	Report *Report
+	Err    error
+}
+
+// Failed reports whether the case errored or missed its tolerance.
+func (r SweepResult) Failed() bool {
+	return r.Err != nil || (r.Report != nil && !r.Report.OK())
+}
+
+// sweepGEMMShapes is the (M, N, K) grid every architecture sweeps,
+// including the degenerate single-element and skinny shapes where tiling
+// logic historically breaks.
+var sweepGEMMShapes = [][3]int{
+	{1, 1, 1},
+	{1, 17, 1},
+	{3, 5, 7},
+	{16, 16, 16},
+	{8, 32, 4},
+	{33, 13, 21},
+}
+
+// sweepConvShapes is the convolution grid: pointwise, odd window with
+// padding, strided, and grouped layers.
+var sweepConvShapes = []tensor.ConvShape{
+	{R: 1, S: 1, C: 1, G: 1, K: 1, N: 1, X: 1, Y: 1, Stride: 1},
+	{R: 1, S: 1, C: 8, G: 1, K: 4, N: 1, X: 5, Y: 5, Stride: 1},
+	{R: 3, S: 3, C: 3, G: 1, K: 4, N: 1, X: 8, Y: 8, Stride: 1, Padding: 1},
+	{R: 3, S: 3, C: 4, G: 2, K: 6, N: 1, X: 7, Y: 9, Stride: 2, Padding: 1},
+	{R: 2, S: 3, C: 2, G: 1, K: 3, N: 1, X: 6, Y: 7, Stride: 1},
+	// Batched conv: the flexible dense schedule used to silently drop every
+	// image after the first (it streamed batch 0 only and returned an
+	// N=1 tensor).
+	{R: 2, S: 2, C: 3, G: 1, K: 2, N: 2, X: 5, Y: 6, Stride: 1},
+}
+
+// sweepSparsities covers the dense, mixed and fully-pruned regimes; 1.0 is
+// the all-zero stationary operand every scheduler must survive.
+var sweepSparsities = []float64{0, 0.5, 0.9, 1}
+
+// Sweep runs the full differential grid — every registered architecture ×
+// {GEMM, Conv, sparse} × the shape grids — and returns one result per case.
+// Cases are deterministic: the data seed derives from the case position.
+func Sweep() []SweepResult {
+	var out []SweepResult
+	seed := uint64(0x5eed)
+	for _, arch := range sim.Names() {
+		ms, bw := 16, 16 // every preset accepts a 16-PE fabric
+		for _, s := range sweepGEMMShapes {
+			seed++
+			out = append(out, runSweepCase(Case{
+				Arch: arch, Op: OpGEMM, MS: ms, BW: bw,
+				M: s[0], N: s[1], K: s[2], Seed: seed,
+			}))
+		}
+		for _, cs := range sweepConvShapes {
+			seed++
+			if arch == "snapea" {
+				cs.N = 1 // SNAPEA models batch-1 inference only
+			}
+			out = append(out, runSweepCase(Case{
+				Arch: arch, Op: OpConv, MS: ms, BW: bw, CS: cs, Seed: seed,
+			}))
+		}
+		for _, sp := range sweepSparsities {
+			for _, pol := range []sched.Policy{sched.NS, sched.RDM, sched.LFF} {
+				seed++
+				out = append(out, runSweepCase(Case{
+					Arch: arch, Op: OpSparse, MS: ms, BW: bw,
+					M: 12, N: 9, K: 20, Sparsity: sp, Policy: pol, Seed: seed,
+				}))
+			}
+		}
+	}
+	return out
+}
+
+func runSweepCase(c Case) SweepResult {
+	rep, err := c.Run()
+	return SweepResult{Case: c, Report: rep, Err: err}
+}
+
+// WriteSweep runs the sweep, streams a one-line verdict per case to w and
+// returns an error if any case failed — the checksweep CLI exit status.
+func WriteSweep(w io.Writer) error {
+	failed := 0
+	results := Sweep()
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			failed++
+			fmt.Fprintf(w, "FAIL %s: %v\n", r.Case, r.Err)
+		case !r.Report.OK():
+			failed++
+			fmt.Fprintf(w, "%s\n", r.Report)
+		default:
+			line := fmt.Sprintf("ok   %s", r.Case)
+			if r.Report.Tol.Exact {
+				fmt.Fprintf(w, "%s (ulp %d)\n", line, r.Report.MaxULP)
+			} else {
+				fmt.Fprintf(w, "%s (max %.2f× allowed)\n", line, r.Report.MaxExcess)
+			}
+		}
+	}
+	fmt.Fprintf(w, "checksweep: %d cases, %d failed\n", len(results), failed)
+	if failed > 0 {
+		return fmt.Errorf("checksweep: %d of %d cases failed", failed, len(results))
+	}
+	return nil
+}

@@ -184,6 +184,9 @@ func BuildModel(spec *ModelSpec) (*Model, error) {
 			if s.Window <= 0 {
 				return nil, fmt.Errorf("dnn: layer %d: pool needs a window", i)
 			}
+			if s.Stride < 0 || s.Pad < 0 {
+				return nil, fmt.Errorf("dnn: layer %d: pool stride/pad must be non-negative (stride %d, pad %d)", i, s.Stride, s.Pad)
+			}
 			stride := s.Stride
 			if stride == 0 {
 				stride = s.Window

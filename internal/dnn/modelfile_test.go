@@ -183,6 +183,103 @@ func TestWeightsFileErrors(t *testing.T) {
 	}
 }
 
+// A valid weights buffer truncated at every prefix length must come back
+// as a descriptive error, never a panic or a silent partial load.
+func TestLoadWeightsTruncatedPrefixes(t *testing.T) {
+	tiny := `{"name":"t","input_channels":1,"input_size":6,"layers":[
+	  {"type":"conv","name":"c1","filters":2,"kernel":3},
+	  {"type":"linear","name":"fc","out":2}]}`
+	m, err := ParseModel(strings.NewReader(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := InitWeights(m, 5)
+	var buf bytes.Buffer
+	if err := ws.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, err := LoadWeights(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncated file of %d/%d bytes accepted", cut, len(full))
+		}
+		if !strings.Contains(err.Error(), "dnn:") {
+			t.Fatalf("cut %d: error lacks package context: %v", cut, err)
+		}
+	}
+	if _, err := LoadWeights(bytes.NewReader(full)); err != nil {
+		t.Fatalf("untruncated buffer rejected: %v", err)
+	}
+}
+
+// Targeted byte mutations of a valid weights file: each corrupted field is
+// reported with layer context instead of panicking or over-allocating.
+func TestLoadWeightsCorruptFields(t *testing.T) {
+	m, err := ParseModel(strings.NewReader(lenetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := InitWeights(m, 5)
+	var buf bytes.Buffer
+	if err := ws.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Layout: magic[0:4] | version[4:8] | count[8:12] |
+	// record "c1": nameLen[12:16] | "c1"[16:18] | rank[18:22] | dims...
+	mutate := func(off int, v uint32) []byte {
+		b := append([]byte(nil), full...)
+		b[off] = byte(v)
+		b[off+1] = byte(v >> 8)
+		b[off+2] = byte(v >> 16)
+		b[off+3] = byte(v >> 24)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring the error must carry
+	}{
+		{"bad magic", append([]byte("XXXX"), full[4:]...), "not a weights file"},
+		{"bad version", mutate(4, 99), "version"},
+		{"huge layer count", mutate(8, 1<<24), "layers"},
+		{"huge name length", mutate(12, 1<<20), "name length"},
+		{"zero rank", mutate(18, 0), "rank"},
+		{"huge rank", mutate(18, 200), "rank"},
+		{"zero dim", mutate(22, 0), "dim"},
+		{"huge dim", mutate(22, 0x7fffffff), "dim"},
+		// Dims that are individually legal but whose product overflows the
+		// element budget must bail before allocating.
+		{"overflow dim product", mutate(26, 1<<29), "elements"},
+	}
+	for _, tc := range cases {
+		_, err := LoadWeights(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Regression: pool layers with negative stride or padding used to flow into
+// the output-size formula and corrupt downstream shape inference.
+func TestParseModelNegativePoolParams(t *testing.T) {
+	for _, layer := range []string{
+		`{"type": "maxpool", "window": 2, "stride": -1}`,
+		`{"type": "maxpool", "window": 2, "pad": -2}`,
+		`{"type": "avgpool", "window": 2, "stride": -3, "pad": -1}`,
+	} {
+		src := `{"name":"x","input_channels":1,"input_size":8,"layers":[` + layer + `,{"type":"linear","out":2}]}`
+		if _, err := ParseModel(strings.NewReader(src)); err == nil {
+			t.Errorf("negative pool params accepted: %s", layer)
+		}
+	}
+}
+
 func TestCheckWeightsMismatch(t *testing.T) {
 	m, _ := ParseModel(strings.NewReader(lenetJSON))
 	ws := InitWeights(m, 9)

@@ -99,14 +99,14 @@ func LoadWeights(r io.Reader) (*Weights, error) {
 	}
 	version, err := readU32()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dnn: weights file truncated in header (version): %w", err)
 	}
 	if version != weightsVersion {
 		return nil, fmt.Errorf("dnn: unsupported weights version %d", version)
 	}
 	count, err := readU32()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dnn: weights file truncated in header (layer count): %w", err)
 	}
 	const maxLayers = 1 << 20
 	if count > maxLayers {
@@ -116,41 +116,46 @@ func LoadWeights(r io.Reader) (*Weights, error) {
 	for i := uint32(0); i < count; i++ {
 		nameLen, err := readU32()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dnn: weights file truncated at layer %d/%d (name length): %w", i+1, count, err)
 		}
 		if nameLen > 4096 {
 			return nil, fmt.Errorf("dnn: layer name length %d", nameLen)
 		}
 		nameBytes := make([]byte, nameLen)
 		if _, err := io.ReadFull(br, nameBytes); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dnn: weights file truncated at layer %d/%d (name): %w", i+1, count, err)
 		}
 		rank, err := readU32()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("dnn: weights file truncated in layer %s (rank): %w", nameBytes, err)
 		}
 		if rank == 0 || rank > 8 {
 			return nil, fmt.Errorf("dnn: layer %s rank %d", nameBytes, rank)
 		}
+		// The element count accumulates in 64 bits with an early bail so a
+		// corrupt header cannot overflow int or provoke a giant allocation.
+		const maxElems = 1 << 30
 		shape := make([]int, rank)
-		n := 1
+		n := int64(1)
 		for d := range shape {
 			v, err := readU32()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("dnn: weights file truncated in layer %s (dim %d): %w", nameBytes, d, err)
+			}
+			if v == 0 || int64(v) > maxElems {
+				return nil, fmt.Errorf("dnn: layer %s dim %d is %d", nameBytes, d, v)
 			}
 			shape[d] = int(v)
-			n *= int(v)
-		}
-		const maxElems = 1 << 30
-		if n <= 0 || n > maxElems {
-			return nil, fmt.Errorf("dnn: layer %s has %d elements", nameBytes, n)
+			n *= int64(v)
+			if n > maxElems {
+				return nil, fmt.Errorf("dnn: layer %s exceeds %d elements", nameBytes, int64(maxElems))
+			}
 		}
 		data := make([]float32, n)
 		for j := range data {
 			bits, err := readU32()
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("dnn: weights file truncated in layer %s (element %d of %d): %w", nameBytes, j, n, err)
 			}
 			data[j] = math.Float32frombits(bits)
 		}

@@ -276,8 +276,20 @@ func (r *flexDenseRunner) RunConv(in, w *tensor.Tensor, cs tensor.ConvShape, lay
 // STONNE, the tile configuration for every layer is part of the model
 // modifications (Fig. 2d); the mapper only provides a default.
 func (r *flexDenseRunner) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, tile mapper.Tile) (*tensor.Tensor, *stats.Run, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, nil, err
+	}
 	if err := tile.Validate(cs); err != nil {
 		return nil, nil, err
+	}
+	if in.Rank() != 4 || in.Dim(0) != cs.N || in.Dim(1) != cs.C || in.Dim(2) != cs.X || in.Dim(3) != cs.Y {
+		return nil, nil, fmt.Errorf("engine: conv input %v does not match shape %+v", in.Shape(), cs)
+	}
+	if cs.N > 1 {
+		// The schedule streams one image at a time (T_N == 1 is enforced
+		// below): batches run back-to-back on the fabric with their cycle
+		// and event counts summed.
+		return r.runConvBatched(in, w, cs, layer, tile)
 	}
 	if tile.UsedMultipliers > r.hw.MSSize {
 		return nil, nil, fmt.Errorf("engine: tile uses %d multipliers, fabric has %d", tile.UsedMultipliers, r.hw.MSSize)
@@ -313,4 +325,36 @@ func (r *flexDenseRunner) RunConvTiled(in, w *tensor.Tensor, cs tensor.ConvShape
 	m, n, k := cs.GEMMDims()
 	run := ctx.Finish("CONV", layer, m, n, k)
 	return out, run, nil
+}
+
+// runConvBatched serializes a batched convolution into per-image runs —
+// the flexible dense schedule keeps weights stationary within one image's
+// position sweep, so images execute sequentially and the statistics merge
+// additively.
+func (r *flexDenseRunner) runConvBatched(in, w *tensor.Tensor, cs tensor.ConvShape, layer string, tile mapper.Tile) (*tensor.Tensor, *stats.Run, error) {
+	xo, yo := cs.OutX(), cs.OutY()
+	out := tensor.New(cs.N, cs.K, xo, yo)
+	cs1 := cs
+	cs1.N = 1
+	inPer := cs.C * cs.X * cs.Y
+	outPer := cs.K * xo * yo
+	var total *stats.Run
+	for n := 0; n < cs.N; n++ {
+		img, err := tensor.FromSlice(in.Data()[n*inPer:(n+1)*inPer], 1, cs.C, cs.X, cs.Y)
+		if err != nil {
+			return nil, nil, err
+		}
+		bout, run, err := r.RunConvTiled(img, w, cs1, layer, tile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("engine: batch %d: %w", n, err)
+		}
+		copy(out.Data()[n*outPer:(n+1)*outPer], bout.Data())
+		if total == nil {
+			total = run
+		} else {
+			total.Merge(run)
+		}
+	}
+	total.RecomputeUtilization(r.hw.MSSize)
+	return out, total, nil
 }

@@ -23,6 +23,9 @@ func init() {
 		Build: func(hw config.Hardware) (sim.Runner, error) {
 			return &systolicRunner{hw: hw}, nil
 		},
+		// The systolic array accumulates each output strictly in k order
+		// (within and across K panels), exactly like the reference GEMM.
+		Contract: sim.NumericContract{ExactSum: true},
 	})
 	sim.Register(sim.Arch{
 		Name:        "maeri",
@@ -35,6 +38,9 @@ func init() {
 		Build: func(hw config.Hardware) (sim.Runner, error) {
 			return &flexDenseRunner{hw: hw}, nil
 		},
+		// The ART reduces each virtual neuron as a tree and folds channel
+		// slices through the accumulation buffer — a reordered sum.
+		Contract: sim.NumericContract{RelTol: 1e-5},
 	})
 	sim.Register(sim.Arch{
 		Name:        "sigma",
@@ -45,6 +51,9 @@ func init() {
 		Build: func(hw config.Hardware) (sim.Runner, error) {
 			return &sparseRunner{hw: hw}, nil
 		},
+		// FAN cluster reductions plus Global-Buffer-side accumulation
+		// across rounds reorder the sum per output element.
+		Contract: sim.NumericContract{RelTol: 1e-5},
 	})
 	sim.Register(sim.Arch{
 		Name:        "snapea",
@@ -55,5 +64,9 @@ func init() {
 		Build: func(hw config.Hardware) (sim.Runner, error) {
 			return &snapeaRunner{hw: hw}, nil
 		},
+		// Convolutions accumulate in sign-sorted weight order and the early
+		// cut leaves negative outputs undefined below zero; GEMMs run the
+		// lanes in reference order but share the conv tolerance for safety.
+		Contract: sim.NumericContract{RelTol: 1e-5, PostActivationConv: true},
 	})
 }

@@ -25,7 +25,12 @@ type Tile struct {
 
 // Validate checks internal consistency against the layer it was built for.
 func (t Tile) Validate(cs tensor.ConvShape) error {
+	if err := cs.Validate(); err != nil {
+		return err
+	}
 	switch {
+	case t.TR < 1 || t.TS < 1 || t.TC < 1 || t.TG < 1 || t.TK < 1 || t.TN < 1 || t.TXp < 1 || t.TYp < 1:
+		return fmt.Errorf("mapper: tile has non-positive dimension: %+v", t)
 	case t.VNSize != t.TR*t.TS*t.TC:
 		return fmt.Errorf("mapper: VNSize %d != TR·TS·TC %d", t.VNSize, t.TR*t.TS*t.TC)
 	case t.NumVNs != t.TG*t.TK*t.TN*t.TXp*t.TYp:
@@ -46,6 +51,9 @@ func (t Tile) Validate(cs tensor.ConvShape) error {
 func PickConv(h *config.Hardware, cs tensor.ConvShape) (Tile, error) {
 	if err := cs.Validate(); err != nil {
 		return Tile{}, err
+	}
+	if h.MSSize <= 0 {
+		return Tile{}, fmt.Errorf("mapper: fabric has no multiplier switches (MSSize %d)", h.MSSize)
 	}
 	cg := cs.C / cs.G
 	kg := cs.K / cs.G
@@ -110,6 +118,9 @@ type GEMMTile struct {
 func PickGEMM(h *config.Hardware, m, n, k int) (GEMMTile, error) {
 	if m <= 0 || n <= 0 || k <= 0 {
 		return GEMMTile{}, fmt.Errorf("mapper: non-positive GEMM dims %d×%d×%d", m, n, k)
+	}
+	if h.MSSize <= 0 {
+		return GEMMTile{}, fmt.Errorf("mapper: fabric has no multiplier switches (MSSize %d)", h.MSSize)
 	}
 	t := GEMMTile{}
 	t.KSlice = min(k, h.MSSize)

@@ -122,6 +122,48 @@ func TestPickConvProperty(t *testing.T) {
 	}
 }
 
+// Regression: a fabric without multiplier switches used to crash both
+// pickers with a division by zero inside ceilDiv.
+func TestPickersRejectEmptyFabric(t *testing.T) {
+	cs := tensor.ConvShape{R: 3, S: 3, C: 4, G: 1, K: 4, N: 1, X: 8, Y: 8, Stride: 1}
+	for _, ms := range []int{0, -16} {
+		h := hw(16, 4)
+		h.MSSize = ms
+		if _, err := PickConv(h, cs); err == nil {
+			t.Errorf("PickConv accepted MSSize %d", ms)
+		}
+		if _, err := PickGEMM(h, 4, 4, 4); err == nil {
+			t.Errorf("PickGEMM accepted MSSize %d", ms)
+		}
+	}
+}
+
+// Regression: Tile.Validate used to divide by cs.G before checking the
+// shape, so a zero-group shape panicked instead of erroring.
+func TestTileValidateDegenerateShape(t *testing.T) {
+	tile := Tile{TR: 1, TS: 1, TC: 1, TG: 1, TK: 1, TN: 1, TXp: 1, TYp: 1, VNSize: 1, NumVNs: 1, Folds: 1}
+	bad := tensor.ConvShape{R: 1, S: 1, C: 4, G: 0, K: 4, N: 1, X: 4, Y: 4, Stride: 1}
+	if err := tile.Validate(bad); err == nil {
+		t.Error("zero-group shape accepted")
+	}
+	neg := tensor.ConvShape{R: 1, S: 1, C: -4, G: 1, K: 4, N: 1, X: 4, Y: 4, Stride: 1}
+	if err := tile.Validate(neg); err == nil {
+		t.Error("negative-channel shape accepted")
+	}
+}
+
+func TestTileValidateNonPositiveDims(t *testing.T) {
+	cs := tensor.ConvShape{R: 3, S: 3, C: 4, G: 1, K: 4, N: 1, X: 8, Y: 8, Stride: 1}
+	bad := Tile{TR: 3, TS: 3, TC: 0, TG: 1, TK: 1, TN: 1, TXp: 1, TYp: 1, VNSize: 0, NumVNs: 1, Folds: 1}
+	if err := bad.Validate(cs); err == nil {
+		t.Error("zero-TC tile accepted")
+	}
+	neg := Tile{TR: 3, TS: 3, TC: 1, TG: 1, TK: -1, TN: 1, TXp: 1, TYp: -1, VNSize: 9, NumVNs: 1, Folds: 1}
+	if err := neg.Validate(cs); err == nil {
+		t.Error("negative-parallelism tile accepted")
+	}
+}
+
 func TestTileValidate(t *testing.T) {
 	cs := tensor.ConvShape{R: 3, S: 3, C: 4, G: 1, K: 4, N: 1, X: 8, Y: 8, Stride: 1}
 	bad := Tile{TR: 3, TS: 3, TC: 1, TG: 1, TK: 1, TN: 1, TXp: 1, TYp: 1, VNSize: 10, NumVNs: 1, Folds: 4}

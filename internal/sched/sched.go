@@ -181,9 +181,10 @@ type chunkItem struct {
 }
 
 // Utilization returns the mean fraction of switches occupied across
-// rounds — the MS-utilization metric of Figure 9.
+// rounds — the MS-utilization metric of Figure 9. Degenerate inputs (no
+// rounds, or a fabric without switches) report zero utilization.
 func Utilization(rounds []Round, capacity int) float64 {
-	if len(rounds) == 0 || capacity == 0 {
+	if len(rounds) == 0 || capacity <= 0 {
 		return 0
 	}
 	total := 0

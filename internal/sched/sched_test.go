@@ -186,6 +186,35 @@ func TestUtilizationAndFiltersPerRound(t *testing.T) {
 	}
 }
 
+// Degenerate inputs: a fabric without capacity yields no rounds and zero
+// metrics rather than dividing by zero or looping forever.
+func TestDegenerateCapacityAndInputs(t *testing.T) {
+	for _, capacity := range []int{0, -8} {
+		for _, pol := range []Policy{NS, RDM, LFF} {
+			if rounds := Pack([]int{3, 1, 4}, capacity, pol, 7); rounds != nil {
+				t.Errorf("Pack(capacity=%d, %v) = %v, want nil", capacity, pol, rounds)
+			}
+		}
+		if u := Utilization([]Round{{{Row: 0, Len: 4, Final: true}}}, capacity); u != 0 {
+			t.Errorf("Utilization(capacity=%d) = %v, want 0", capacity, u)
+		}
+	}
+	for _, pol := range []Policy{NS, RDM, LFF} {
+		if rounds := Pack(nil, 8, pol, 0); len(rounds) != 0 {
+			t.Errorf("Pack(empty nnz) = %v", rounds)
+		}
+		if rounds := Pack([]int{0, 0, 0}, 8, pol, 0); len(rounds) != 0 {
+			t.Errorf("Pack(all-zero nnz, %v) = %v", pol, rounds)
+		}
+	}
+	if u := Utilization(nil, 8); u != 0 {
+		t.Errorf("Utilization(no rounds) = %v", u)
+	}
+	if f := FiltersPerRound(nil); f != 0 {
+		t.Errorf("FiltersPerRound(no rounds) = %v", f)
+	}
+}
+
 func TestPolicyString(t *testing.T) {
 	if NS.String() != "NS" || RDM.String() != "RDM" || LFF.String() != "LFF" {
 		t.Error("policy strings wrong")

@@ -12,6 +12,28 @@ import (
 // validated hardware description.
 type Builder func(config.Hardware) (Runner, error)
 
+// NumericContract declares how closely an architecture's datapath follows
+// the reference summation order — the tolerance the differential check
+// harness (internal/check) grants its output tensors. An architecture that
+// accumulates every output in reference (k-major) order is bit-exact
+// against the CPU reference; tree/cluster reductions reorder the sum and
+// are only correct up to a bounded relative error on the magnitude of the
+// absolute-value product.
+type NumericContract struct {
+	// ExactSum marks compositions whose per-element accumulation order is
+	// identical to the reference GEMM's: outputs must match bit for bit
+	// (ULP distance 0).
+	ExactSum bool
+	// RelTol bounds |got-want| by RelTol·(Σ|aᵢ·bᵢ|) per element for
+	// reordered accumulation. Zero means "use the harness default".
+	RelTol float64
+	// PostActivationConv marks architectures whose convolution outputs are
+	// only defined up to the following ReLU (SNAPEA's early negative cut
+	// stops as soon as the sign is decided): the harness clamps both sides
+	// at zero before comparing.
+	PostActivationConv bool
+}
+
 // Arch is one registered accelerator architecture: a stable name (the CLI
 // -arch value), a human-readable description, a predicate matching the
 // hardware configurations the architecture serves, a preset constructor,
@@ -33,6 +55,9 @@ type Arch struct {
 	Preset func(ms, bw int) config.Hardware
 	// Build constructs the runner for a validated configuration.
 	Build Builder
+	// Contract is the architecture's numeric contract against the CPU
+	// reference executor (see NumericContract).
+	Contract NumericContract
 }
 
 var registry = struct {

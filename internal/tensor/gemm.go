@@ -68,6 +68,12 @@ func (cs ConvShape) Validate() error {
 		return fmt.Errorf("tensor: stride must be positive, got %d", cs.Stride)
 	case cs.Padding < 0:
 		return fmt.Errorf("tensor: padding must be non-negative, got %d", cs.Padding)
+	case cs.R > cs.X+2*cs.Padding || cs.S > cs.Y+2*cs.Padding:
+		// Must be checked explicitly: Go's truncated division makes the
+		// OutX/OutY formula report 1 (not <= 0) when the window overhangs
+		// the padded input, since (X+2P-R)/Stride rounds -2/3 to 0.
+		return fmt.Errorf("tensor: filter %dx%d exceeds padded input %dx%d: %+v",
+			cs.R, cs.S, cs.X+2*cs.Padding, cs.Y+2*cs.Padding, cs)
 	case cs.OutX() <= 0 || cs.OutY() <= 0:
 		return fmt.Errorf("tensor: conv shape yields empty output: %+v", cs)
 	}

@@ -79,8 +79,67 @@ func ToBitmap(t *Tensor) (*BitmapMatrix, error) {
 // NNZ returns the number of stored non-zeros.
 func (m *CSRMatrix) NNZ() int { return len(m.Vals) }
 
+// Validate checks the CSR invariants: positive dimensions, a row-pointer
+// array of Rows+1 monotone entries starting at 0 and ending at the
+// non-zero count, matching index/value storage, and in-range column
+// indices. An all-zero matrix is valid with nil ColIdx and Vals slices.
+func (m *CSRMatrix) Validate() error {
+	switch {
+	case m.Rows <= 0 || m.Cols <= 0:
+		return fmt.Errorf("tensor: CSR matrix has non-positive shape %dx%d", m.Rows, m.Cols)
+	case len(m.RowPtr) != m.Rows+1:
+		return fmt.Errorf("tensor: CSR RowPtr has %d entries, want %d", len(m.RowPtr), m.Rows+1)
+	case m.RowPtr[0] != 0:
+		return fmt.Errorf("tensor: CSR RowPtr starts at %d, want 0", m.RowPtr[0])
+	case len(m.ColIdx) != len(m.Vals):
+		return fmt.Errorf("tensor: CSR has %d column indices for %d values", len(m.ColIdx), len(m.Vals))
+	case int(m.RowPtr[m.Rows]) != len(m.Vals):
+		return fmt.Errorf("tensor: CSR RowPtr ends at %d, stores %d values", m.RowPtr[m.Rows], len(m.Vals))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i+1] < m.RowPtr[i] {
+			return fmt.Errorf("tensor: CSR RowPtr decreases at row %d (%d -> %d)", i, m.RowPtr[i], m.RowPtr[i+1])
+		}
+	}
+	for p, j := range m.ColIdx {
+		if j < 0 || int(j) >= m.Cols {
+			return fmt.Errorf("tensor: CSR column index %d at position %d out of range [0,%d)", j, p, m.Cols)
+		}
+	}
+	return nil
+}
+
 // NNZ returns the number of stored non-zeros.
 func (m *BitmapMatrix) NNZ() int { return len(m.Vals) }
+
+// Validate checks the bitmap invariants: positive dimensions, a bit array
+// sized to the element count with no stray bits past the end, and exactly
+// one packed value per set bit. An all-zero matrix is valid with a nil
+// Vals slice.
+func (m *BitmapMatrix) Validate() error {
+	if m.Rows <= 0 || m.Cols <= 0 {
+		return fmt.Errorf("tensor: bitmap matrix has non-positive shape %dx%d", m.Rows, m.Cols)
+	}
+	elems := m.Rows * m.Cols
+	if want := (elems + 63) / 64; len(m.Bits) != want {
+		return fmt.Errorf("tensor: bitmap has %d words for %d elements, want %d", len(m.Bits), elems, want)
+	}
+	pop := 0
+	for w, bits := range m.Bits {
+		if w == len(m.Bits)-1 && elems%64 != 0 {
+			if bits>>(uint(elems%64)) != 0 {
+				return fmt.Errorf("tensor: bitmap has bits set past element %d", elems)
+			}
+		}
+		for ; bits != 0; bits &= bits - 1 {
+			pop++
+		}
+	}
+	if pop != len(m.Vals) {
+		return fmt.Errorf("tensor: bitmap sets %d bits, stores %d values", pop, len(m.Vals))
+	}
+	return nil
+}
 
 // RowNNZ returns the non-zero count of row i.
 func (m *CSRMatrix) RowNNZ(i int) int { return int(m.RowPtr[i+1] - m.RowPtr[i]) }
@@ -154,8 +213,12 @@ func (m *BitmapMatrix) ToCSRView() *CSRMatrix {
 }
 
 // SpMM multiplies CSR A (M×K) by dense B (K×N), the functional reference for
-// the sparse controller.
+// the sparse controller. A malformed A (broken RowPtr, out-of-range column
+// indices) reports an error instead of corrupting the product.
 func SpMM(a *CSRMatrix, b *Tensor) (*Tensor, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
 	if b.Rank() != 2 || b.Dim(0) != a.Cols {
 		return nil, fmt.Errorf("tensor: SpMM dims mismatch: A is %dx%d, B is %v", a.Rows, a.Cols, b.shape)
 	}

@@ -139,6 +139,121 @@ func TestSparseRankErrors(t *testing.T) {
 	}
 }
 
+// All-zero matrices and empty rows must round-trip through every encoding
+// with nil index/value slices.
+func TestSparseAllZeroAndEmptyRows(t *testing.T) {
+	for _, a := range []*Tensor{
+		New(4, 5), // all zero
+		func() *Tensor { // only the middle row populated
+			t := New(5, 3)
+			t.Set(2.5, 2, 1)
+			return t
+		}(),
+		New(1, 1),
+	} {
+		csr, err := ToCSR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("ToCSR invalid: %v", err)
+		}
+		if d, _ := MaxAbsDiff(csr.Dense(), a); d != 0 {
+			t.Fatalf("CSR round trip diff %g", d)
+		}
+		bm, err := ToBitmap(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bm.Validate(); err != nil {
+			t.Fatalf("ToBitmap invalid: %v", err)
+		}
+		if d, _ := MaxAbsDiff(bm.Dense(), a); d != 0 {
+			t.Fatalf("bitmap round trip diff %g", d)
+		}
+		view := bm.ToCSRView()
+		if err := view.Validate(); err != nil {
+			t.Fatalf("CSR view invalid: %v", err)
+		}
+		if d, _ := MaxAbsDiff(view.Dense(), a); d != 0 {
+			t.Fatalf("CSR view round trip diff %g", d)
+		}
+	}
+}
+
+// A hand-built all-zero CSR with nil ColIdx/Vals is valid and usable.
+func TestCSRNilSlicesHandled(t *testing.T) {
+	m := &CSRMatrix{Rows: 3, Cols: 4, RowPtr: make([]int32, 4)}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := MaxAbsDiff(m.Dense(), New(3, 4)); d != 0 {
+		t.Fatal("nil-slice CSR does not expand to zeros")
+	}
+	got, err := SpMM(m, New(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := MaxAbsDiff(got, New(3, 2)); d != 0 {
+		t.Fatal("nil-slice SpMM not zero")
+	}
+	bm := &BitmapMatrix{Rows: 2, Cols: 5, Bits: make([]uint64, 1)}
+	if err := bm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := MaxAbsDiff(bm.Dense(), New(2, 5)); d != 0 {
+		t.Fatal("nil-slice bitmap does not expand to zeros")
+	}
+}
+
+// Malformed encodings are rejected by Validate and by SpMM, not executed.
+func TestSparseValidateRejectsCorruption(t *testing.T) {
+	bad := []*CSRMatrix{
+		{Rows: 0, Cols: 3, RowPtr: []int32{0}},
+		{Rows: 2, Cols: 3, RowPtr: []int32{0, 1}},                                               // RowPtr too short
+		{Rows: 2, Cols: 3, RowPtr: []int32{1, 1, 1}, ColIdx: []int32{0}, Vals: []float32{1}},    // RowPtr[0] != 0
+		{Rows: 2, Cols: 3, RowPtr: []int32{0, 2, 1}, ColIdx: []int32{0}, Vals: []float32{1}},    // decreasing
+		{Rows: 2, Cols: 3, RowPtr: []int32{0, 1, 1}, ColIdx: []int32{5}, Vals: []float32{1}},    // col out of range
+		{Rows: 2, Cols: 3, RowPtr: []int32{0, 1, 2}, ColIdx: []int32{0, 1}, Vals: []float32{1}}, // vals short
+		{Rows: 1, Cols: 2, RowPtr: []int32{0, 1}, ColIdx: []int32{-1}, Vals: []float32{1}},      // negative col
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: corrupt CSR %+v accepted", i, m)
+		}
+	}
+	if _, err := SpMM(bad[4], New(3, 2)); err == nil {
+		t.Error("SpMM executed a CSR with out-of-range column indices")
+	}
+	badBM := []*BitmapMatrix{
+		{Rows: 0, Cols: 4},
+		{Rows: 2, Cols: 3, Bits: make([]uint64, 2)},                  // wrong word count
+		{Rows: 2, Cols: 3, Bits: []uint64{1 << 10}},                  // stray bit past the end
+		{Rows: 2, Cols: 3, Bits: []uint64{0b11}, Vals: []float32{1}}, // popcount mismatch
+	}
+	for i, m := range badBM {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: corrupt bitmap %+v accepted", i, m)
+		}
+	}
+}
+
+// Regression: a filter window larger than the padded input used to pass
+// Validate — (X+2P-R)/Stride truncates -2/3 to 0, so OutX reported 1 —
+// and crashed the flexible dense conv schedule downstream.
+func TestConvShapeRejectsOverhangingWindow(t *testing.T) {
+	cs := ConvShape{R: 7, S: 4, C: 2, G: 1, K: 4, N: 2, X: 1, Y: 8, Stride: 3, Padding: 2}
+	if err := cs.Validate(); err == nil {
+		t.Fatalf("window %dx%d over padded input %dx%d accepted (OutX=%d)",
+			cs.R, cs.S, cs.X+2*cs.Padding, cs.Y+2*cs.Padding, cs.OutX())
+	}
+	// The same shape with enough padding is fine.
+	ok := ConvShape{R: 3, S: 3, C: 1, G: 1, K: 1, N: 1, X: 1, Y: 1, Stride: 1, Padding: 1}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestIm2ColShapes(t *testing.T) {
 	cs := ConvShape{R: 2, S: 2, C: 2, G: 1, K: 1, N: 1, X: 3, Y: 3, Stride: 1}
 	in := New(1, 2, 3, 3)

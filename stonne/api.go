@@ -105,6 +105,9 @@ type Instance struct {
 
 	weights, inputs *Tensor
 
+	selfCheck bool
+	lastCheck *CheckReport
+
 	// Runs is the log of every operation executed on this instance.
 	Runs []*Run
 }
@@ -197,9 +200,10 @@ func (s *Instance) RunOperation() (*Tensor, *Run, error) {
 		return nil, nil, fmt.Errorf("stonne: no data configured — call ConfigureData first")
 	}
 	var (
-		out *Tensor
-		run *Run
-		err error
+		out    *Tensor
+		run    *Run
+		err    error
+		gA, gB *Tensor // exact GEMM operands, kept for self-checking
 	)
 	switch s.op {
 	case opCONV:
@@ -226,18 +230,21 @@ func (s *Instance) RunOperation() (*Tensor, *Run, error) {
 			return nil, nil, err2
 		}
 		// out = W × Xᵀ: run as GEMM with the weight matrix stationary.
-		out, run, err = s.acc.RunGEMM(W, transpose(X), "linear")
+		gA, gB = W, transpose(X)
+		out, run, err = s.acc.RunGEMM(gA, gB, "linear")
 	case opDMM:
 		if s.weights == nil {
 			return nil, nil, fmt.Errorf("stonne: DMM requires both operands")
 		}
-		out, run, err = s.acc.RunGEMM(s.weights, s.inputs, "dmm")
+		gA, gB = s.weights, s.inputs
+		out, run, err = s.acc.RunGEMM(gA, gB, "dmm")
 	case opSpMM:
 		if s.weights == nil {
 			return nil, nil, fmt.Errorf("stonne: SpMM requires both operands")
 		}
 		pol := s.policy
-		out, run, err = s.acc.RunSpMM(s.weights, s.inputs, "spmm", &pol)
+		gA, gB = s.weights, s.inputs
+		out, run, err = s.acc.RunSpMM(gA, gB, "spmm", &pol)
 	case opMaxPool:
 		out, run, err = s.runMaxPool()
 	default:
@@ -245,6 +252,11 @@ func (s *Instance) RunOperation() (*Tensor, *Run, error) {
 	}
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.selfCheck {
+		if cerr := s.verifyRun(out, gA, gB); cerr != nil {
+			return nil, nil, cerr
+		}
 	}
 	s.tab.Apply(run, &s.hw)
 	s.Runs = append(s.Runs, run)

@@ -1,0 +1,72 @@
+// Command stonnelint is the simulator's invariant checker: a multichecker
+// over the internal/lint analyzer suite. It loads the module's packages
+// (test files included), runs every analyzer, applies the //lint:ignore
+// suppression convention and prints surviving findings one per line:
+//
+//	file:line:col: message (analyzer)
+//
+// Usage:
+//
+//	stonnelint [-C dir] [-list] [patterns ...]
+//
+// Patterns default to ./... relative to the module root. The exit status
+// is 1 when any diagnostic survives, 2 on a loading or internal error —
+// the same contract as go vet, so `make lint` and CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root to lint")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stonnelint [-C dir] [-list] [patterns ...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repository's invariant analyzers (default patterns: ./...).\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Suppress a finding with a justified directive:\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "\t//lint:ignore <analyzer> <reason>\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-17s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "stonnelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

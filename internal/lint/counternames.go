@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// namesPkgPath owns the counter-name vocabulary; string constants declared
+// there are the only way to spell a counter key (PR 2's invariant).
+const namesPkgPath = "repro/internal/comp/names"
+
+// compPkgPath declares the Counters type whose resolution methods the
+// analyzer guards.
+const compPkgPath = "repro/internal/comp"
+
+// counterKeyMethods are the comp.Counters methods whose first argument is a
+// counter name.
+var counterKeyMethods = map[string]bool{
+	"Add":     true,
+	"Counter": true,
+	"Get":     true,
+}
+
+// CounterNames returns the analyzer enforcing that counter keys reaching
+// comp.Counters resolution are spelled through internal/comp/names
+// constants. A string literal (or a local string constant) at the call
+// site reintroduces exactly the typo'd-name-reads-as-zero failure mode the
+// names package was built to remove. Test files are exempt: tests probe
+// unknown keys and misspellings on purpose.
+func CounterNames() *Analyzer {
+	a := &Analyzer{
+		Name: "counternames",
+		Doc: "counter keys passed to comp.Counters.Add/Counter/Get must come from " +
+			"internal/comp/names constants, not string literals at the call site",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Path() == namesPkgPath {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.InTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !counterKeyMethods[sel.Sel.Name] {
+					return true
+				}
+				if !isCountersMethod(pass.Info, sel) {
+					return true
+				}
+				reportNonVocabularyKey(pass, sel.Sel.Name, call.Args[0])
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isCountersMethod reports whether sel selects a method of comp.Counters.
+func isCountersMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Counters" && obj.Pkg() != nil && obj.Pkg().Path() == compPkgPath
+}
+
+// reportNonVocabularyKey walks the key expression and reports every string
+// constant in it that does not originate in the names package. Dynamic
+// values (variables, function results) pass: they carry names resolved at
+// run time, e.g. the snapshot keys the trace recorder re-resolves.
+func reportNonVocabularyKey(pass *Pass, method string, arg ast.Expr) {
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BasicLit:
+			if e.Kind == token.STRING {
+				pass.Reportf(e.Pos(), "string literal %s passed as counter key to Counters.%s: use an internal/comp/names constant", e.Value, method)
+			}
+		case *ast.Ident:
+			reportForeignStringConst(pass, method, e, e)
+		case *ast.SelectorExpr:
+			reportForeignStringConst(pass, method, e.Sel, e)
+			return false // don't descend into the package qualifier
+		}
+		return true
+	})
+}
+
+// reportForeignStringConst flags id when it denotes a string constant
+// declared outside internal/comp/names.
+func reportForeignStringConst(pass *Pass, method string, id *ast.Ident, at ast.Expr) {
+	obj := pass.Info.Uses[id]
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return
+	}
+	basic, ok := c.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsString == 0 {
+		return
+	}
+	if c.Pkg() != nil && c.Pkg().Path() == namesPkgPath {
+		return
+	}
+	pass.Reportf(at.Pos(), "string constant %s (declared outside %s) passed as counter key to Counters.%s: move it into the names vocabulary", id.Name, shortPkg(namesPkgPath), method)
+}
+
+func shortPkg(path string) string {
+	if i := strings.Index(path, "/internal/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

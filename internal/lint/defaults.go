@@ -1,0 +1,57 @@
+package lint
+
+// DefaultExtraRoots is the repository's hot-leaf configuration for
+// hotpathalloc: per-cycle functions invoked from another package's tick
+// loop, which the structural root detection (Cycle/Next/Consume, Kernel
+// hooks) cannot see from inside their own package.
+func DefaultExtraRoots() map[string][]string {
+	return map[string][]string{
+		// The engine controllers call these once per element / per barrier
+		// cycle from ctrlCycle and Consume.
+		"repro/internal/mem": {
+			"GlobalBuffer.Read",
+			"GlobalBuffer.Write",
+			"DRAM.BeginPrefetch",
+			"DRAM.StallCycles",
+		},
+		// Fired from the controller's per-cycle VN scan and from the DN's
+		// per-cycle delivery sink/prober callbacks.
+		"repro/internal/mn": {
+			"Array.AppendPop",
+			"Array.ReadyVN",
+			"Array.ReadyMembers",
+			"Array.Deliver",
+			"Array.CanDeliver",
+			"Array.QuiescentSet",
+			"Array.Idle",
+			"Array.VNs",
+		},
+		// Offered work and completion probes, once per controller cycle.
+		"repro/internal/rn": {
+			"Net.Offer",
+			"Net.CanAccept",
+			"Net.Drained",
+			"Net.HasAccumulator",
+		},
+		"repro/internal/dn": {
+			"Tree.Offer",
+			"Tree.Pending",
+			"Benes.Offer",
+			"Benes.Pending",
+			"PointToPoint.Offer",
+			"PointToPoint.Pending",
+		},
+	}
+}
+
+// DefaultAnalyzers is the stonnelint suite: the five invariant checks, in
+// the order their invariants were introduced.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc(DefaultExtraRoots()),
+		CounterNames(),
+		FloatCmp(),
+		RegistryContract(),
+		GlobalRand(),
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// checkPkgPath owns the numeric tolerance model (PR 4): ULP distance for
+// exact-sum architectures, bounded relative error for reordered sums. It is
+// the one package allowed to compare floats exactly.
+const checkPkgPath = "repro/internal/check"
+
+// FloatCmp returns the analyzer flagging == and != between float operands
+// outside internal/check. Simulated datapaths reorder summation, so exact
+// float equality either works by accident or encodes a tolerance decision
+// that belongs to the check package's NumericContract machinery.
+//
+// Two carve-outs keep the signal honest:
+//
+//   - Comparison against constant zero is allowed. The zero sentinel is
+//     load-bearing across the codebase — pruned weights are written as
+//     literal 0 and sparsity formats/schedulers test for exactly that bit
+//     pattern — and x == 0 guards before division are exact by
+//     construction. Comparisons against any other constant, or between two
+//     computed values, remain flagged.
+//   - Test files are exempt: golden tests pin bit-exact outputs
+//     deliberately (that bit-exactness is itself an invariant the parity
+//     suites enforce).
+func FloatCmp() *Analyzer {
+	a := &Analyzer{
+		Name: "floatcmp",
+		Doc: "== / != on float operands (other than the exact-zero sentinel) is " +
+			"reserved to internal/check, which owns the tolerance model",
+	}
+	a.Run = func(pass *Pass) error {
+		if pass.Pkg.Path() == checkPkgPath {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.InTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				b, ok := n.(*ast.BinaryExpr)
+				if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+					return true
+				}
+				if (isFloat(pass.Info, b.X) || isFloat(pass.Info, b.Y)) &&
+					!isZeroConst(pass.Info, b.X) && !isZeroConst(pass.Info, b.Y) {
+					pass.Reportf(b.OpPos, "%s compares float operands exactly: use internal/check helpers or an explicit tolerance", b.Op)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero
+// (the sparsity sentinel / division guard carve-out).
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

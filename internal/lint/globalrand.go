@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions backed by the shared global source. rand.New / rand.NewSource /
+// rand.NewZipf construct seeded instances and are the sanctioned escape.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint": true, "Uint32": true, "Uint32N": true, "Uint64": true,
+	"Uint64N": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// GlobalRand returns the analyzer flagging math/rand global-state use.
+// Cycle-level reproducibility — the property STONNE's claims rest on —
+// requires every random stream to be a seeded *rand.Rand owned by the run
+// that consumes it; the package-level source is process-global, shared
+// across goroutines and reseeded behind the program's back. Test files are
+// covered too: a test drawing from the global source cannot reproduce its
+// own failures byte for byte.
+func GlobalRand() *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc: "math/rand global-state functions (rand.Intn, rand.Float64, ...) break " +
+			"run reproducibility; draw from a seeded *rand.Rand instead",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !globalRandFuncs[sel.Sel.Name] {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				fn, ok := obj.(*types.Func)
+				if !ok {
+					return true
+				}
+				// Package-level function (methods on *rand.Rand have a
+				// receiver and are fine).
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				pkg := fn.Pkg()
+				if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "%s.%s draws from the process-global source: use a seeded *rand.Rand so runs reproduce", pkg.Path(), fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

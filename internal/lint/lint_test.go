@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestCounterNames(t *testing.T) {
+	linttest.Run(t, lint.CounterNames(), "counternames")
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, lint.FloatCmp(), "floatcmp")
+}
+
+func TestGlobalRand(t *testing.T) {
+	linttest.Run(t, lint.GlobalRand(), "globalrand")
+}
+
+func TestRegistryContract(t *testing.T) {
+	linttest.Run(t, lint.RegistryContract(), "registrycontract")
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc(nil), "hotpathalloc")
+}
+
+// TestHotPathAllocExtraRoots drives the configured-hot-leaf mechanism the
+// real suite uses for mem/mn/rn/dn leaves called from another package's
+// tick loop.
+func TestHotPathAllocExtraRoots(t *testing.T) {
+	extra := map[string][]string{
+		"repro/internal/lint/testdata/hotleaf": {"Leaf.Touch"},
+	}
+	linttest.Run(t, lint.HotPathAlloc(extra), "hotleaf")
+}
+
+// TestUnknownAnalyzerDirective pins the hygiene rule that a typo'd
+// //lint:ignore target is flagged instead of silently suppressing nothing.
+func TestUnknownAnalyzerDirective(t *testing.T) {
+	linttest.Run(t, lint.FloatCmp(), "directives")
+}

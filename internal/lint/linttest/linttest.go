@@ -1,0 +1,179 @@
+// Package linttest is the golden-test harness for the internal/lint
+// analyzers, modeled on golang.org/x/tools' analysistest (which the
+// toolchain image does not carry): a fixture directory under testdata is
+// loaded as a real type-checked package, the analyzer under test runs over
+// it — with the //lint:ignore suppression machinery applied, so fixtures
+// can prove suppression works — and every diagnostic must be announced by
+// a // want "regexp" comment on the line it fires on.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader for the whole test process (the stdlib
+// export-data table behind it is worth sharing across analyzer tests).
+func sharedLoader() (*lint.Loader, error) {
+	loaderOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = lint.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run loads testdata/<fixture> as a package and checks the analyzer's
+// post-suppression diagnostics against the fixture's // want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", fixture)
+	pkg, err := l.LoadDirAs(dir, "repro/internal/lint/testdata/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkg)
+	got := make(map[string][]lint.Diagnostic) // "file:line" -> diags
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+		got[key] = append(got[key], d)
+	}
+
+	for key, res := range wants {
+		found := got[key]
+		if len(found) != len(res) {
+			t.Errorf("%s: want %d diagnostic(s), got %d: %v", key, len(res), len(found), found)
+			continue
+		}
+	nextWant:
+		for _, re := range res {
+			for _, d := range found {
+				if re.MatchString(d.Message) {
+					continue nextWant
+				}
+			}
+			t.Errorf("%s: no diagnostic matching %q (got %v)", key, re, found)
+		}
+	}
+	for key, found := range got {
+		if _, ok := wants[key]; !ok {
+			t.Errorf("%s: unexpected diagnostic(s): %v", key, found)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want([+-]\d+)?\s+(.*)$`)
+
+// collectWants parses // want "re" ["re" ...] comments per fixture line.
+// The optional offset form `// want-1 "re"` anchors the expectation N
+// lines away — needed when the diagnosed line is itself a comment (a
+// malformed //lint:ignore directive cannot carry a trailing want: the two
+// would merge into one comment).
+func collectWants(t *testing.T, pkg *lint.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[string][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] != "" {
+					off, err := strconv.Atoi(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want offset %q", pos.Filename, pos.Line, m[1])
+					}
+					line += off
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), line)
+				for _, q := range splitQuoted(m[2]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					out[key] = append(out[key], re)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted splits `"a" "b"` (or the backtick-quoted equivalent) into
+// its quoted fields.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if len(s) == 0 || (s[0] != '"' && s[0] != '`') {
+			return out
+		}
+		quote := s[0]
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// simPkgPath declares the architecture registry and the NumericContract
+// type the differential-check harness keys off (PR 4).
+const simPkgPath = "repro/internal/sim"
+
+// RegistryContract returns the analyzer enforcing the architecture
+// registry's registration discipline: every sim.Register call site passes
+// an Arch literal that (a) declares a non-empty NumericContract — the
+// differential self-check harness refuses to guess an architecture's
+// numeric tolerance — and (b) uses a Name no other registration in the
+// same package claims (a duplicate only surfaces as an init-time panic of
+// whichever binary happens to link both).
+func RegistryContract() *Analyzer {
+	a := &Analyzer{
+		Name: "registrycontract",
+		Doc: "sim.Register call sites must pass an Arch literal declaring its " +
+			"NumericContract, under a package-unique Name",
+	}
+	a.Run = func(pass *Pass) error {
+		// Name literal → position of first registration, per package.
+		seen := make(map[string]ast.Expr)
+		for _, f := range pass.Files {
+			if pass.InTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 || !isSimRegister(pass.Info, call.Fun) {
+					return true
+				}
+				lit := archLiteral(call.Args[0])
+				if lit == nil {
+					pass.Reportf(call.Pos(), "sim.Register argument is not an Arch composite literal: the registry contract cannot be verified statically — register with a literal")
+					return true
+				}
+				checkArchLiteral(pass, lit, seen)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func isSimRegister(info *types.Info, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Register" {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == simPkgPath
+}
+
+// archLiteral unwraps the Arch composite literal from the call argument
+// (plain or address-taken).
+func archLiteral(e ast.Expr) *ast.CompositeLit {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	return lit
+}
+
+func checkArchLiteral(pass *Pass, lit *ast.CompositeLit, seen map[string]ast.Expr) {
+	var nameExpr, contract ast.Expr
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			nameExpr = kv.Value
+		case "Contract":
+			contract = kv.Value
+		}
+	}
+	switch {
+	case contract == nil:
+		pass.Reportf(lit.Pos(), "sim.Register: Arch literal omits its NumericContract; declare the Contract field (the self-check harness needs the architecture's tolerance)")
+	case emptyContract(contract):
+		pass.Reportf(contract.Pos(), "sim.Register: empty NumericContract{} declares nothing; set ExactSum, RelTol or PostActivationConv (or spell the default explicitly via a named constant)")
+	}
+	if nameExpr == nil {
+		return // registry.Register itself panics on the missing name
+	}
+	name, ok := stringConstant(pass.Info, nameExpr)
+	if !ok {
+		return
+	}
+	if _, dup := seen[name]; dup {
+		pass.Reportf(nameExpr.Pos(), "sim.Register: duplicate architecture name %q (already registered in this package)", name)
+		return
+	}
+	seen[name] = nameExpr
+}
+
+// emptyContract reports whether e is a bare NumericContract{} literal.
+func emptyContract(e ast.Expr) bool {
+	lit, ok := e.(*ast.CompositeLit)
+	return ok && len(lit.Elts) == 0
+}
+
+func stringConstant(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

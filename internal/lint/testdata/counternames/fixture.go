@@ -1,0 +1,42 @@
+// Package fixture exercises the counternames analyzer: counter keys
+// reaching comp.Counters resolution must come from internal/comp/names.
+package fixture
+
+import (
+	"repro/internal/comp"
+	"repro/internal/comp/names"
+)
+
+// localKey is a string constant declared outside the names vocabulary.
+const localKey = "local.counter"
+
+func violations(c *comp.Counters) {
+	c.Add("gb.reads", 1)        // want `string literal "gb.reads" passed as counter key`
+	_ = c.Counter("mn.mults")   // want `string literal "mn.mults" passed as counter key`
+	_ = c.Get("rn.outputs")     // want `string literal "rn.outputs" passed as counter key`
+	c.Add(localKey, 1)          // want `string constant localKey \(declared outside internal/comp/names\)`
+	c.Add(names.GBReads+"x", 2) // want `string literal "x" passed as counter key`
+}
+
+func allowed(c *comp.Counters, dynamic string) {
+	c.Add(names.GBReads, 1)      // vocabulary constant: ok
+	_ = c.Counter(names.MNMults) // ok
+	_ = c.Get(names.RNOutputs)   // ok
+	c.Add(dynamic, 1)            // runtime-derived name: ok
+	h := c.Counter(names.DNStallCycles)
+	h.Add(3) // Counter-handle Add takes a count, not a key: ok
+}
+
+func suppressed(c *comp.Counters) {
+	//lint:ignore counternames fixture proves a justified suppression silences the finding
+	c.Add("dram.reads", 1)
+	c.Add("dram.writes", 1) //lint:ignore counternames trailing-comment form is honored too
+}
+
+func reasonless(c *comp.Counters) {
+	// A directive without a reason suppresses nothing and is itself
+	// flagged (at the directive, hence the offset want).
+	//lint:ignore counternames
+	// want-1 "suppression without a reason"
+	c.Add("gb.writes", 1) // want `string literal "gb.writes" passed as counter key`
+}

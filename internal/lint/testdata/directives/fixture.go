@@ -1,0 +1,10 @@
+// Package fixture exercises the directive hygiene baked into every run:
+// a //lint:ignore naming an analyzer the suite does not know suppresses
+// nothing and is flagged, so a typo cannot silently disarm a suppression.
+package fixture
+
+func oops(a, b float64) bool {
+	//lint:ignore floatcompare tolerance handled by caller
+	// want-1 `//lint:ignore names unknown analyzer "floatcompare"`
+	return a == b // want `== compares float operands exactly`
+}

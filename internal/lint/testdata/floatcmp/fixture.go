@@ -1,0 +1,36 @@
+// Package fixture exercises the floatcmp analyzer: exact float equality
+// belongs to internal/check, except against the zero sentinel.
+package fixture
+
+func violations(a, b float32, x, y float64) bool {
+	if a == b { // want `== compares float operands exactly`
+		return true
+	}
+	if x != y { // want `!= compares float operands exactly`
+		return true
+	}
+	if a == 1.0 { // want `== compares float operands exactly`
+		return true
+	}
+	return float64(a) != x // want `!= compares float operands exactly`
+}
+
+func zeroSentinel(v float32, sum float64) bool {
+	if v == 0 { // pruned-weight sentinel: ok
+		return true
+	}
+	if sum != 0.0 { // division guard: ok
+		return true
+	}
+	const zero = 0.0
+	return v != zero // named zero constant: ok
+}
+
+func nonFloat(i, j int, s, t string) bool {
+	return i == j || s != t // integer and string equality: ok
+}
+
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp comparing quantized table entries that are copied, never recomputed
+	return a == b
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the globalrand analyzer: randomness must flow
+// through seeded *rand.Rand instances, never the process-global source.
+package fixture
+
+import "math/rand"
+
+func violations() {
+	_ = rand.Intn(10)      // want `math/rand.Intn draws from the process-global source`
+	_ = rand.Float32()     // want `math/rand.Float32 draws from the process-global source`
+	_ = rand.Perm(4)       // want `math/rand.Perm draws from the process-global source`
+	rand.Shuffle(3, swap)  // want `math/rand.Shuffle draws from the process-global source`
+	rand.Seed(42)          // want `math/rand.Seed draws from the process-global source`
+	_ = rand.NormFloat64() // want `math/rand.NormFloat64 draws from the process-global source`
+}
+
+func swap(i, j int) {}
+
+func seeded() {
+	// Constructing a seeded instance is the sanctioned pattern: runs (and
+	// test failures) reproduce byte for byte.
+	r := rand.New(rand.NewSource(1))
+	_ = r.Intn(10)      // method on the seeded instance: ok
+	_ = r.Float32()     // ok
+	_ = r.Perm(4)       // ok
+	_ = r.NormFloat64() // ok
+}
+
+func suppressed() {
+	//lint:ignore globalrand fixture demonstrates a justified suppression
+	_ = rand.Intn(3)
+}

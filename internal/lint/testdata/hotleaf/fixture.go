@@ -1,0 +1,15 @@
+// Package fixture exercises hotpathalloc's configured hot leaves: methods
+// named in the ExtraRoots table are tick-path roots even though nothing in
+// their own package roots them structurally — the cross-package shape of
+// mem.GlobalBuffer.Read and friends.
+package fixture
+
+type Leaf struct{ buf []byte }
+
+func (l *Leaf) Touch() {
+	l.buf = append(l.buf, 0) // want `append \(may grow the backing array\) on the per-tick path \(reachable from Leaf.Touch \(configured hot leaf\)\)`
+}
+
+func (l *Leaf) Unlisted() {
+	l.buf = append(l.buf, 0) // not configured as a root: ok
+}

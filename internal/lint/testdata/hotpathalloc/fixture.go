@@ -1,0 +1,76 @@
+// Package fixture exercises the hotpathalloc analyzer: per-tick code
+// (Cycle/Next/Consume methods, sim.Kernel hooks, their package-local
+// callees and configured hot leaves) must not allocate or index maps.
+package fixture
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+type ticker struct {
+	byName map[string]int
+	vals   []int
+	label  string
+}
+
+func (t *ticker) Cycle() {
+	_ = t.byName["x"]          // want `map index on the per-tick path`
+	t.vals = append(t.vals, 1) // want `append \(may grow the backing array\) on the per-tick path`
+	_ = fmt.Sprintf("%d", 1)   // want `fmt.Sprintf \(formats and allocates\) on the per-tick path`
+	_ = t.label + "!"          // want `string concatenation \(allocates\) on the per-tick path`
+	f := func() {}             // want `closure \(captures escape to the heap\) on the per-tick path`
+	f()
+	t.helper()
+}
+
+// helper is reachable from Cycle through the package-local call graph.
+func (t *ticker) helper() {
+	_ = make([]int, 8) // want `make \(allocates\) on the per-tick path \(reachable from ticker.Cycle`
+}
+
+// cold is never called from a tick root: the same constructs pass.
+func (t *ticker) cold() {
+	_ = t.byName["x"]
+	_ = make([]int, 8)
+	_ = fmt.Sprintf("%d", 1)
+}
+
+type source struct{ n int }
+
+func (s *source) Next() (sim.WorkItem, bool) {
+	_ = []int{1, 2, 3} // want `slice literal \(allocates\) on the per-tick path \(reachable from source.Next`
+	return sim.WorkItem{}, false
+}
+
+type sink struct{ out []float32 }
+
+func (s *sink) Consume(v float32) {
+	s.out = append(s.out, v) // want `append \(may grow the backing array\) on the per-tick path \(reachable from sink.Consume`
+}
+
+type run struct {
+	state map[int]int
+	done  bool
+}
+
+// ctrl is rooted through the sim.Kernel Control hook below.
+func (r *run) ctrl() {
+	_ = r.state[3] // want `map index on the per-tick path \(reachable from sim.Kernel.Control hook\)`
+}
+
+func (r *run) kernel() *sim.Kernel {
+	return &sim.Kernel{
+		Control: r.ctrl,
+		Done:    func() bool { return r.done },
+		Progress: func() int {
+			return len(r.state) // len on a map does not allocate: ok
+		},
+	}
+}
+
+// build is cold setup code: constructing the fabric allocates freely.
+func build() *ticker {
+	return &ticker{byName: make(map[string]int), vals: make([]int, 0, 64)}
+}

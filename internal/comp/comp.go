@@ -299,9 +299,11 @@ func (f *FIFO) Stats() (pushes, pops, maxOccupancy uint64) {
 	return f.pushes, f.pops, f.maxOcc
 }
 
-// AddTo folds the FIFO's activity into the counter set under
-// "<prefix>.pushes" / "<prefix>.pops".
-func (f *FIFO) AddTo(c *Counters, prefix string) {
-	c.Add(prefix+".pushes", f.pushes)
-	c.Add(prefix+".pops", f.pops)
+// AddTo folds the FIFO's activity into the counter set under the given
+// keys. Callers pass constants from internal/comp/names (e.g.
+// names.MNFifoPushes / names.MNFifoPops) rather than having the FIFO
+// synthesize key strings outside the shared vocabulary.
+func (f *FIFO) AddTo(c *Counters, pushesKey, popsKey string) {
+	c.Add(pushesKey, f.pushes)
+	c.Add(popsKey, f.pops)
 }

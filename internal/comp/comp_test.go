@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/comp/names"
 )
 
 func TestCounters(t *testing.T) {
@@ -59,8 +61,8 @@ func TestFIFOBasics(t *testing.T) {
 		t.Errorf("stats %d %d %d", pushes, pops, maxOcc)
 	}
 	c := NewCounters()
-	f.AddTo(c, "fifo")
-	if c.Get("fifo.pushes") != 2 || c.Get("fifo.pops") != 1 {
+	f.AddTo(c, names.MNFifoPushes, names.MNFifoPops)
+	if c.Get(names.MNFifoPushes) != 2 || c.Get(names.MNFifoPops) != 1 {
 		t.Error("AddTo wrong")
 	}
 }

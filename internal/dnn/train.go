@@ -363,6 +363,7 @@ func maxPoolBackward(in, out, grad *tensor.Tensor, p PoolShape) (*tensor.Tensor,
 							if yj < 0 || yj >= y {
 								continue
 							}
+							//lint:ignore floatcmp argmax recovery: target was copied bit-for-bit out of this window in the forward pass, so exact equality is the correct test
 							if in.At(ni, ci, xi, yj) == target {
 								dIn.Set(dIn.At(ni, ci, xi, yj)+grad.At(ni, ci, i, j), ni, ci, xi, yj)
 								done = true

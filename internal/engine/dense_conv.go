@@ -106,6 +106,11 @@ func (c *convSource) decode(p int) (tc, tr, ts int) {
 
 func (c *convSource) mblocks() int { return ceilDiv(c.kg, c.t.TK) }
 
+// Next builds the next work item of the convolution schedule; like the
+// GEMM source, the per-item delivery-list allocations are amortized over
+// the many cycles the item keeps the fabric busy.
+//
+//lint:ignore hotpathalloc work-item construction is amortized over the many cycles the item occupies the fabric
 func (c *convSource) Next() (sim.WorkItem, bool) {
 	if c.exhausted {
 		return sim.WorkItem{}, false

@@ -165,6 +165,7 @@ func Fig9cPar(ctx context.Context, workers, scale int) ([]Fig9cRow, error) {
 		})
 	}
 	sort.Slice(rows, func(a, b int) bool {
+		//lint:ignore floatcmp sort tie-break: exact inequality only decides whether to fall through to the Layer key, so no tolerance is wanted
 		if rows[a].NormRuntime != rows[b].NormRuntime {
 			return rows[a].NormRuntime < rows[b].NormRuntime
 		}

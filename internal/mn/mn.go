@@ -238,6 +238,7 @@ func (a *Array) Cycle() {
 		s.lastInput = p.Value
 		s.lastInputSeq = p.Seq
 		s.hasLast = true
+		//lint:ignore hotpathalloc latch depth is capped at psumLatchDepth (checked above) and pops copy down in place, so the backing array stops growing after the first few cycles
 		s.psums = append(s.psums, psum{value: s.stationary * p.Value, seq: p.Seq, last: p.Last})
 		fired++
 	}
@@ -289,6 +290,7 @@ func (a *Array) AppendPop(dst []float32, members []int, seq int) (values []float
 	for _, ms := range members {
 		s := &a.ms[ms]
 		if len(s.psums) > 0 && s.psums[0].seq == seq {
+			//lint:ignore hotpathalloc dst is the caller's reusable scratch buffer (reset to len 0 each cycle), so this append reallocates only until it reaches steady-state capacity
 			values = append(values, s.psums[0].value)
 			last = last || s.psums[0].last
 			// Copy-down pop keeps the latch's backing array (depth ≤

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet trace-demo checksweep fuzz fuzz-smoke
+.PHONY: build test race bench vet lint fmt-check trace-demo checksweep fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the repo's own analyzer suite (cmd/stonnelint) plus go vet.
+# Suppressions use `//lint:ignore <analyzer> <reason>`; a directive without
+# a reason is itself a finding, so the suite stays honest.
+lint:
+	$(GO) run ./cmd/stonnelint ./...
+	$(GO) vet ./...
+
+# fmt-check fails if any file needs gofmt (prints the offenders).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 test:
 	$(GO) test ./...
 
 # race exercises the parallel runtime paths: the simpool itself, the
-# public API, and the serial-vs-parallel equivalence test in exp. The
+# public API, the serial-vs-parallel equivalence test in exp, and the
+# trace/check layers that hang observers off the shared kernel loop. The
 # explicit timeout keeps slow CI runners from hitting go test's default
 # 10m panic mid-suite under the race detector's ~10x slowdown.
 race:
-	$(GO) test -race -timeout 20m ./internal/simpool/... ./stonne/...
+	$(GO) test -race -timeout 20m ./internal/simpool/... ./stonne/... ./internal/trace/... ./internal/check/...
 	$(GO) test -race -timeout 20m -run 'TestFig5SerialParallelEquivalence' ./internal/exp/
 
 bench:

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet lint fmt-check trace-demo checksweep fuzz fuzz-smoke
+.PHONY: build test race bench bench-json bench-json-smoke vet lint fmt-check trace-demo checksweep fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,20 @@ race:
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x .
 	$(GO) test -run=XXX -bench='BenchmarkCounters' ./internal/comp/
+
+# bench-json runs the canonical benchmark set (Fig 5 parallel scaling, trace
+# overhead, fast-forward vs ticked, counter hot path) through cmd/benchjson
+# and writes the machine-readable snapshot that each perf PR commits as its
+# BENCH_<issue>.json trajectory point. bench-json-smoke is the CI guard: one
+# iteration, output discarded — it keeps the harness runnable without
+# committing CI-runner noise as a measurement.
+BENCH_SNAPSHOT ?= BENCH_6.json
+
+bench-json:
+	$(GO) run ./cmd/benchjson -benchtime 3x -out $(BENCH_SNAPSHOT)
+
+bench-json-smoke:
+	$(GO) run ./cmd/benchjson -benchtime 1x > /dev/null
 
 # trace-demo runs one traced MAERI GEMM end to end and validates that the
 # emitted Chrome trace parses — the smoke check for the observability layer.

@@ -257,6 +257,56 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkFastForward pins the event-driven fast-forward win on the
+// workload it targets: a MAERI GEMM with DRAM throttled to a trickle, so
+// fold-barrier prefetch stalls dominate the simulated time. The "ticked"
+// case forces the per-cycle loop (-fastforward=false); "fastforward" lets
+// the kernel jump the provably-idle stall windows. Both simulate exactly the
+// same cycle count (asserted by TestFastForwardTickedParity); only the
+// wall-clock differs.
+func BenchmarkFastForward(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{
+		{"ticked", true},
+		{"fastforward", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			hw := config.MAERILike(128, 64)
+			hw.Preloaded = true
+			hw.DRAM.BandwidthGBs = 0.25 // trickle DRAM: fetch swamps compute
+			hw.DRAM.Modules = 1
+			hw.DisableFastForward = cfg.disable
+			acc, err := engine.New(hw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := dnn.NewRNG(10)
+			// Deep K, small M×N: one starved weight prefetch per fold with
+			// little streaming to hide it — ~93% of the simulated cycles are
+			// provably-idle barrier stalls.
+			A := tensor.New(16, 4096)
+			B := tensor.New(4096, 16)
+			for _, d := range [][]float32{A.Data(), B.Data()} {
+				for i := range d {
+					d[i] = float32(rng.Normal())
+				}
+			}
+			b.ResetTimer()
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				_, run, err := acc.RunGEMM(A, B, "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = run.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
 // --- Ablations ----------------------------------------------------------
 
 // BenchmarkAblationFIFODepth sweeps the operand FIFO depth: deeper FIFOs

@@ -1,0 +1,136 @@
+// Command benchjson runs the repo's canonical benchmark set and writes a
+// machine-readable snapshot — the BENCH_*.json perf trajectory. Each PR that
+// claims a speed win commits the snapshot it measured (BENCH_<issue>.json),
+// so the trajectory is a series of concrete, diffable measurements rather
+// than prose claims. CI runs the same harness in smoke mode (one iteration,
+// output discarded) so the tooling cannot rot between snapshots.
+//
+// The tool shells out to `go test -bench` — the benchmarks themselves stay
+// ordinary Go benchmarks, runnable directly — and parses the standard
+// benchmark output format: one line per result,
+//
+//	BenchmarkName/sub-8   5   266891194 ns/op   263717 sim-cycles
+//
+// i.e. name, iteration count, then (value, unit) pairs including any
+// b.ReportMetric custom units.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// suites lists the benchmark surfaces that make up a snapshot: the paper
+// experiments and kernel-loop benchmarks in the root package, and the
+// counter hot path in internal/comp. Patterns are anchored so ablation and
+// figure sweeps don't balloon the snapshot.
+var suites = []struct {
+	pkg     string
+	pattern string
+}{
+	{".", "^(BenchmarkFig5Parallel|BenchmarkTraceOverhead|BenchmarkFastForward)$"},
+	{"./internal/comp", "^(BenchmarkCountersHandle|BenchmarkCountersString)$"},
+}
+
+type result struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type snapshot struct {
+	Schema    int      `json:"schema"`
+	Go        string   `json:"go"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: stdout)")
+	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	flag.Parse()
+
+	snap := snapshot{Schema: 1, Go: runtime.Version(), Benchtime: *benchtime}
+	for _, s := range suites {
+		results, err := runSuite(s.pkg, s.pattern, *benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", s.pkg, err)
+			os.Exit(1)
+		}
+		snap.Results = append(snap.Results, results...)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed — pattern drift?")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(snap.Results), *out)
+}
+
+func runSuite(pkg, pattern, benchtime string) ([]result, error) {
+	cmd := exec.Command("go", "test", "-run=^$", "-bench="+pattern, "-benchtime="+benchtime, pkg)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test -bench %s: %w\n%s", pattern, err, stdout.String())
+	}
+	var results []result
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		r, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		r.Package = pkg
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q in:\n%s", pattern, stdout.String())
+	}
+	return results, nil
+}
+
+// parseBenchLine parses one standard benchmark output line into a result.
+// Lines that aren't benchmark results (headers, PASS/ok trailers) report ok
+// as false.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -72,6 +72,7 @@ func main() {
 	selfcheck := fs.Bool("selfcheck", false, "verify every simulated output against the CPU reference (gemm/spmm/conv)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON cycle trace to this file (gemm/spmm/conv)")
 	progress := fs.Bool("progress", false, "print periodic per-job progress to stderr (gemm/spmm/conv)")
+	fastforward := fs.Bool("fastforward", true, "skip provably-idle cycles (bit-exact; -fastforward=false forces the fully ticked loop)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -81,6 +82,7 @@ func main() {
 		fatal(err)
 	}
 	hw.Preloaded = true // user-interface mode runs from preloaded buffers
+	hw.DisableFastForward = !*fastforward
 
 	switch op {
 	case "gemm", "spmm", "conv":
@@ -264,7 +266,7 @@ func (s *traceSink) complete(rt *trace.RunTrace) {
 // onProgress updates the board and prints a throttled status line (at most
 // twice per second, regardless of how many jobs report).
 func (s *traceSink) onProgress(p trace.Progress) {
-	s.board.Update(p.Label, p.Cycles, p.Outputs, p.Occupancy)
+	s.board.Update(p.Label, p.Cycles, p.Outputs, p.Occupancy, p.Skipped)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if now := time.Now(); now.Sub(s.lastPrint) >= 500*time.Millisecond {

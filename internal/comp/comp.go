@@ -20,6 +20,29 @@ type Component interface {
 	Cycle()
 }
 
+// Unbounded is the Lookahead return value meaning "steady for any horizon":
+// the component never limits a fast-forward skip; something else (another
+// component, the controller, the watchdog) provides the finite bound.
+const Unbounded = ^uint64(0)
+
+// Lookahead is the optional fast-forward capability of a ticked component.
+// A component implementing it certifies, cycle-accurately, how far ahead
+// its Cycle method is predictable without running it:
+//
+//   - Lookahead returns n > 0 when the next n Cycle calls would be no-ops
+//     apart from state that Advance can replay in closed form (counters,
+//     internal clocks). It returns 0 when the component must actually tick.
+//     The certificate assumes no external input arrives during the skip —
+//     the kernel guarantees that by skipping only when every tick
+//     participant and the controller agree on a nonzero bound.
+//   - Advance(n) replays n skipped cycles at once. After Advance(n) the
+//     component must be in the exact state n individual Cycle calls would
+//     have produced — bit-exact, including every activity counter.
+type Lookahead interface {
+	Lookahead() uint64
+	Advance(n uint64)
+}
+
 // Counter names are interned once into a process-wide registry so every
 // Counters instance can store its values in a flat slice indexed by the
 // interned id. The registry only grows (ids are never reused); after the
@@ -298,6 +321,20 @@ func (f *FIFO) Peek() (p Packet, ok bool) {
 func (f *FIFO) Stats() (pushes, pops, maxOccupancy uint64) {
 	return f.pushes, f.pops, f.maxOcc
 }
+
+// Lookahead implements the fast-forward capability trivially: a FIFO has no
+// clocked behaviour of its own (it changes only when pushed or popped), so
+// an empty FIFO is steady for any horizon and a non-empty one defers to the
+// component draining it.
+func (f *FIFO) Lookahead() uint64 {
+	if f.Empty() {
+		return Unbounded
+	}
+	return 0
+}
+
+// Advance implements Lookahead; a FIFO holds no per-cycle state to replay.
+func (f *FIFO) Advance(uint64) {}
 
 // AddTo folds the FIFO's activity into the counter set under the given
 // keys. Callers pass constants from internal/comp/names (e.g.

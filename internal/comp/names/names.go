@@ -76,3 +76,10 @@ const (
 const (
 	SchedRounds = "sched.rounds"
 )
+
+// Observability layer. TraceFFSkippedCycles counts the cycles the kernel's
+// event-driven fast-forward skipped instead of ticking; it exists only on
+// traced runs so untraced counter sets stay identical to the ticked loop's.
+const (
+	TraceFFSkippedCycles = "trace.ff.skipped_cycles"
+)

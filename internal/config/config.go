@@ -227,6 +227,14 @@ type Hardware struct {
 	// fill — the mode the Table V microbenchmarks use.
 	Preloaded bool
 
+	// DisableFastForward forces the kernel's fully-ticked cycle loop even
+	// where the event-driven fast-forward path could skip provably-steady
+	// stretches (DRAM-stalled barriers, drain tails). Fast-forward is
+	// bit-exact — cycles, counters and trace breakdowns are identical either
+	// way, pinned by differential tests — so this is a validation escape
+	// hatch (`stonne -fastforward=false`), not an accuracy knob.
+	DisableFastForward bool
+
 	DRAM DRAM
 
 	// Trace enables cycle attribution for runs on this configuration

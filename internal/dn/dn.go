@@ -108,6 +108,21 @@ func (b *base) Bandwidth() int     { return b.bandwidth }
 
 func (b *base) qlen() int { return len(b.queue) - b.head }
 
+// Lookahead implements comp.Lookahead for every DN kind: with an empty
+// injection queue a distribution network's Cycle is a pure no-op (no
+// deliveries, no counters), so an idle network never bounds a fast-forward
+// skip; with queued work it must tick.
+func (b *base) Lookahead() uint64 {
+	if b.qlen() == 0 {
+		return comp.Unbounded
+	}
+	return 0
+}
+
+// Advance implements comp.Lookahead: an idle network has no per-cycle
+// state, so skipped cycles replay as nothing at all.
+func (b *base) Advance(uint64) {}
+
 // qpop removes the head delivery without giving up the queue's backing
 // array; the zeroed slot releases the Dests slice for the collector.
 func (b *base) qpop() {

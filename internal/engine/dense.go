@@ -226,6 +226,61 @@ func (f *flexRun) ctrlCycle() {
 	}
 }
 
+// lookahead is the controller's fast-forward bound (sim.Kernel.Lookahead).
+// It certifies the two controller steady states in which ctrlCycle's effect
+// over the next n cycles is a closed form advance can replay:
+//
+//   - Barrier DRAM stall: the head work item is a quiesced barrier gated
+//     only by the in-flight prefetch. Part 1 scans empty job queues (pure,
+//     pendingJobs == 0), part 2 re-checks the quiescence conditions (pure,
+//     nothing in flight changes them while the fabric is idle) and hits the
+//     DRAM stall — each ticked cycle is exactly cDramWait.Add(1) plus one
+//     dram.stall_events count. StallLookahead bounds how many consecutive
+//     cycles stay stalled. The Reconfig arm re-checks marr.Idle here so the
+//     claim is self-contained rather than leaning on the MN's own bound.
+//
+//   - Exhausted source: srcDone with no held item and no pending jobs.
+//     Part 1 scans empty queues and part 2 re-polls the exhausted source
+//     (sources' exhausted path is pure), so ctrlCycle is a no-op for any
+//     horizon — the run is draining through the fabric components, whose
+//     own bounds then limit the skip.
+//
+// Anything else — live deliveries, partially issued items, jobs awaiting
+// fire — must tick.
+func (f *flexRun) lookahead() uint64 {
+	if f.fatal != nil || f.pendingJobs != 0 {
+		return 0
+	}
+	if f.cur == nil {
+		if f.srcDone {
+			return sim.Unbounded
+		}
+		return 0
+	}
+	if !f.cur.Barrier || f.issued {
+		return 0
+	}
+	if f.dnet.Pending() > 0 || !f.marr.QuiescentSet(f.cur.ReloadSet) {
+		return 0
+	}
+	if f.cur.Reconfig != nil && !f.marr.Idle() {
+		return 0
+	}
+	return f.DRAM.StallLookahead(f.Cycles)
+}
+
+// advance replays n skipped controller cycles (sim.Kernel.Advance). In the
+// barrier-stall steady state each ticked cycle would have counted one
+// dram-wait cycle and one DRAM stall event; in the exhausted-source state a
+// ticked cycle touches nothing.
+func (f *flexRun) advance(n uint64) {
+	if f.cur == nil {
+		return
+	}
+	f.cDramWait.Add(n)
+	f.DRAM.AdvanceStall(n)
+}
+
 func (f *flexRun) done() bool {
 	return f.srcDone && f.cur == nil && f.pendingJobs == 0 &&
 		f.completed >= f.expected &&
@@ -242,14 +297,16 @@ func (f *flexRun) deadlock(window uint64) error {
 // DN → MN → RN tick in pipeline order.
 func (f *flexRun) run() error {
 	k := &sim.Kernel{
-		Ctx:      f.Ctx,
-		Control:  f.ctrlCycle,
-		Ticks:    []sim.Tickable{f.dnet, f.marr, f.rnet},
-		Done:     f.done,
-		Progress: func() int { return f.completed },
-		Err:      func() error { return f.fatal },
-		Draining: func() bool { return f.srcDone && f.cur == nil },
-		Deadlock: f.deadlock,
+		Ctx:       f.Ctx,
+		Control:   f.ctrlCycle,
+		Ticks:     []sim.Tickable{f.dnet, f.marr, f.rnet},
+		Done:      f.done,
+		Progress:  func() int { return f.completed },
+		Err:       func() error { return f.fatal },
+		Draining:  func() bool { return f.srcDone && f.cur == nil },
+		Deadlock:  f.deadlock,
+		Lookahead: f.lookahead,
+		Advance:   f.advance,
 	}
 	if err := k.Run(); err != nil {
 		return err

@@ -13,6 +13,8 @@ func DefaultExtraRoots() map[string][]string {
 			"GlobalBuffer.Write",
 			"DRAM.BeginPrefetch",
 			"DRAM.StallCycles",
+			"DRAM.StallLookahead",
+			"DRAM.AdvanceStall",
 		},
 		// Fired from the controller's per-cycle VN scan and from the DN's
 		// per-cycle delivery sink/prober callbacks.

@@ -14,8 +14,11 @@ import (
 //   - Cycle() methods — the sim.Tickable / comp.Component tick callbacks;
 //   - Next() (T, bool) methods — sim.Source schedule generators;
 //   - Consume(T) methods — sim.Sink result consumers;
+//   - Lookahead() uint64 and Advance(uint64) methods — the comp.Lookahead
+//     fast-forward probes, called once per candidate skip at tick rate;
 //   - functions wired into a sim.Kernel literal's Control / Done /
-//     Progress / Err / Draining hooks (method values and closures);
+//     Progress / Err / Draining / Lookahead / Advance hooks (method values
+//     and closures);
 //   - extraRoots, a per-package-path list of "Type.Method" (or plain
 //     function) names for hot leaves invoked from another package's tick
 //     loop — e.g. mem.GlobalBuffer.Read, which engine controllers call per
@@ -116,6 +119,14 @@ func (h *hotPaths) collectRoots(extra []string) {
 			if sig.Params().Len() == 1 && sig.Results().Len() == 0 {
 				h.markRoot(fn, qualifiedName(fd)+" (sim.Sink)")
 			}
+		case "Lookahead":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 && isUint64(sig.Results().At(0).Type()) {
+				h.markRoot(fn, qualifiedName(fd)+" (fast-forward probe)")
+			}
+		case "Advance":
+			if sig.Params().Len() == 1 && sig.Results().Len() == 0 && isUint64(sig.Params().At(0).Type()) {
+				h.markRoot(fn, qualifiedName(fd)+" (fast-forward advance)")
+			}
 		}
 	}
 	// sim.Kernel hook wiring.
@@ -138,7 +149,7 @@ func (h *hotPaths) collectRoots(extra []string) {
 					continue
 				}
 				switch key.Name {
-				case "Control", "Done", "Progress", "Err", "Draining":
+				case "Control", "Done", "Progress", "Err", "Draining", "Lookahead", "Advance":
 				default:
 					continue
 				}
@@ -327,6 +338,11 @@ func qualifiedName(fd *ast.FuncDecl) string {
 func isBool(t types.Type) bool {
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Kind() == types.Bool
+}
+
+func isUint64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
 }
 
 func isStringExpr(info *types.Info, e ast.Expr) bool {

@@ -67,8 +67,36 @@ func (r *run) kernel() *sim.Kernel {
 		Progress: func() int {
 			return len(r.state) // len on a map does not allocate: ok
 		},
+		Lookahead: r.bound,
+		Advance: func(n uint64) {
+			_ = r.state[int(n)] // want `map index on the per-tick path \(reachable from sim.Kernel.Advance hook\)`
+		},
 	}
 }
+
+// bound is rooted through the sim.Kernel Lookahead hook above.
+func (r *run) bound() uint64 {
+	_ = r.state[1] // want `map index on the per-tick path \(reachable from sim.Kernel.Lookahead hook\)`
+	return 0
+}
+
+// probe is a structural fast-forward root: Lookahead() uint64 on a type.
+type probe struct{ pending []int }
+
+func (p *probe) Lookahead() uint64 {
+	_ = append(p.pending, 1) // want `append \(may grow the backing array\) on the per-tick path \(reachable from probe.Lookahead`
+	return 0
+}
+
+func (p *probe) Advance(n uint64) {
+	_ = make([]int, n) // want `make \(allocates\) on the per-tick path \(reachable from probe.Advance`
+}
+
+// lookalike does not match the fast-forward signatures: not a root.
+type lookalike struct{}
+
+func (l *lookalike) Lookahead(extra int) uint64 { _ = make([]int, extra); return 0 }
+func (l *lookalike) Advance() []int             { return make([]int, 1) }
 
 // build is cold setup code: constructing the fabric allocates freely.
 func build() *ticker {

@@ -12,6 +12,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/comp"
 	"repro/internal/comp/names"
@@ -131,6 +132,25 @@ func (d *DRAM) StallCycles(now float64) float64 {
 	d.cStallEvents.Add(1)
 	return d.prefetchReady - now
 }
+
+// StallLookahead is the side-effect-free fast-forward probe behind
+// StallCycles: it returns how many whole controller cycles from `now`
+// (inclusive) the in-flight prefetch still blocks the consumer — i.e. the
+// count of consecutive cycles at which StallCycles would report a stall.
+// The first unblocked cycle is the smallest integer ≥ prefetchReady, so the
+// bound is ceil(prefetchReady) − now. Unlike StallCycles it counts no stall
+// event; AdvanceStall replays those for the skipped cycles.
+func (d *DRAM) StallLookahead(now uint64) uint64 {
+	if d.prefetchReady <= float64(now) {
+		return 0
+	}
+	return uint64(math.Ceil(d.prefetchReady)) - now
+}
+
+// AdvanceStall replays the bookkeeping of n skipped stalled cycles: the
+// ticked loop probes StallCycles once per controller cycle while blocked,
+// counting one stall event each time.
+func (d *DRAM) AdvanceStall(n uint64) { d.cStallEvents.Add(n) }
 
 // WriteBack accounts n output elements leaving for DRAM; writes are
 // buffered and overlap compute, so they cost bandwidth but no stall.

@@ -248,6 +248,21 @@ func (a *Array) Cycle() {
 	}
 }
 
+// Lookahead implements comp.Lookahead: an idle array (no queued operands,
+// no latched psums) fires nothing and touches no counter, so its Cycle is a
+// pure no-op for any horizon; any in-flight work means it must tick. The
+// Idle scan is O(switches), which is why the kernel probes the controller's
+// cheap bound first and reaches this only in candidate steady states.
+func (a *Array) Lookahead() uint64 {
+	if a.Idle() {
+		return comp.Unbounded
+	}
+	return 0
+}
+
+// Advance implements comp.Lookahead: an idle array has no per-cycle state.
+func (a *Array) Advance(uint64) {}
+
 // ReadyVN reports whether VN vn has a complete product set for step seq:
 // at least `expect` member switches hold a head psum tagged seq.
 func (a *Array) ReadyVN(vn, seq, expect int) bool {

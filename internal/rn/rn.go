@@ -296,6 +296,39 @@ func (n *Net) Cycle() {
 // Drained implements Network.
 func (n *Net) Drained() bool { return len(n.inflight) == 0 && n.outLen() == 0 }
 
+// Lookahead implements comp.Lookahead. Unlike the other fabric tiers the RN
+// mutates state every single Cycle — its internal clock (cycleCount) always
+// advances — but that clock is exactly what Advance replays in closed form,
+// so the steady-state question reduces to: for how many upcoming ticks does
+// nothing retire and nothing leave the ports? Queued outputs force a tick
+// immediately; an empty network is steady for any horizon; otherwise the
+// earliest in-flight ready cycle bounds the skip. A tick at internal clock
+// c retires entries with ready ≤ c, so from the current clock c0 the next k
+// ticks (clocks c0+1 … c0+k) are no-ops exactly while k ≤ minReady − c0 − 1.
+func (n *Net) Lookahead() uint64 {
+	if n.outLen() > 0 {
+		return 0
+	}
+	if len(n.inflight) == 0 {
+		return comp.Unbounded
+	}
+	minReady := n.inflight[0].ready
+	for _, f := range n.inflight[1:] {
+		if f.ready < minReady {
+			minReady = f.ready
+		}
+	}
+	if minReady <= n.cycleCount+1 {
+		return 0
+	}
+	return minReady - n.cycleCount - 1
+}
+
+// Advance implements comp.Lookahead: n skipped ticks advance the internal
+// clock by n and nothing else — no retirement was due (Lookahead's bound),
+// no output left, no counter would have fired.
+func (n *Net) Advance(cycles uint64) { n.cycleCount += cycles }
+
 // PendingAccumulations reports OutIdx entries still held in the
 // accumulators (non-empty indicates a missing Last job — a controller bug
 // tests assert against).

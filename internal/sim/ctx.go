@@ -40,6 +40,13 @@ type Ctx struct {
 	// Pre-resolved results-path handles: Finish reads totals through these
 	// instead of string-keyed lookups.
 	cMults, cGBReads, cGBWrites comp.Counter
+
+	// cFFSkipped counts fast-forwarded cycles on traced runs. It is only
+	// resolved (and only ever touched) when tracing is enabled, so untraced
+	// runs — the dispatch-parity goldens, check.Sweep, every counter-file
+	// comparison — see byte-identical counter sets with and without
+	// fast-forward.
+	cFFSkipped comp.Counter
 }
 
 // NewCtx builds the per-run context for one operation on hw.
@@ -56,8 +63,27 @@ func NewCtx(hw *config.Hardware) *Ctx {
 	}
 	if hw.Trace != nil {
 		ctx.Rec = trace.NewRecorder(c, hw.Trace)
+		ctx.cFFSkipped = c.Counter(names.TraceFFSkippedCycles)
 	}
 	return ctx
+}
+
+// AccountSkipped records n fast-forwarded cycles. The counter exists only
+// on traced runs (see cFFSkipped); untraced runs keep their counter set
+// identical to the ticked loop's, which is what the parity goldens pin.
+func (c *Ctx) AccountSkipped(n uint64) {
+	if c.Rec != nil {
+		c.cFFSkipped.Add(n)
+	}
+}
+
+// SkippedSoFar returns the cycles fast-forward has skipped so far (zero on
+// untraced runs, which do not account skips).
+func (c *Ctx) SkippedSoFar() uint64 {
+	if c.Rec == nil {
+		return 0
+	}
+	return c.cFFSkipped.Value()
 }
 
 // UtilizationSoFar is the multiplier busy fraction up to the current cycle,

@@ -26,6 +26,11 @@ import "fmt"
 //     as drain rather than idle. Nil means never draining.
 //   - Deadlock renders the abort diagnostic; nil falls back to a generic
 //     message.
+//   - Lookahead / Advance are the controller's fast-forward capability,
+//     mirroring the component-side Lookahead interface: Lookahead returns
+//     how many upcoming Control calls are provably no-ops apart from the
+//     closed-form bookkeeping Advance replays, and 0 when the controller
+//     must actually run. Nil disables fast-forward for the run.
 type Kernel struct {
 	Ctx      *Ctx
 	Control  func()
@@ -35,17 +40,85 @@ type Kernel struct {
 	Err      func() error
 	Draining func() bool
 	Deadlock func(window uint64) error
+
+	Lookahead func() uint64
+	Advance   func(n uint64)
 }
 
 // Run executes the cycle loop to completion (or watchdog abort). When the
 // context carries a cycle recorder, every cycle is attributed per tier; a
 // nil recorder costs one pointer check per run, not per cycle, because the
 // check is hoisted out of the per-cycle work.
+//
+// When the controller provides Lookahead/Advance and every Tickable also
+// implements the Lookahead capability, the loop fast-forwards: whenever all
+// participants report a nonzero steady-state bound, it jumps min(bounds)
+// cycles at once, replaying counters and trace attribution in closed form.
+// Fast-forward is bit-exact, not approximate — the jump is additionally
+// capped so the deadlock watchdog and the periodic progress callback fire
+// at exactly the cycles the ticked loop would have fired them, and the
+// differential tests in internal/engine pin ticked and fast-forwarded runs
+// identical in cycles, counters and breakdowns. Ctx.HW.DisableFastForward
+// forces the ticked loop as a validation escape hatch.
 func (k *Kernel) Run() error {
 	lastProgress := k.Ctx.Cycles
 	lastState := -1
 	rec := k.Ctx.Rec
+	// Fast-forward participation is decided once per run: the controller
+	// must expose the capability, every fabric component must implement it,
+	// and the configuration must not opt out. A nil las means "always tick".
+	var las []Lookahead
+	if k.Lookahead != nil && k.Advance != nil && !k.Ctx.HW.DisableFastForward {
+		las = make([]Lookahead, 0, len(k.Ticks))
+		for _, t := range k.Ticks {
+			la, ok := t.(Lookahead)
+			if !ok {
+				las = nil
+				break
+			}
+			las = append(las, la)
+		}
+	}
 	for !k.Done() {
+		if las != nil {
+			if n := k.skipBound(las, lastProgress); n > 0 {
+				before := k.Ctx.Cycles
+				k.Advance(n)
+				for _, la := range las {
+					la.Advance(n)
+				}
+				k.Ctx.Cycles += n
+				k.Ctx.AccountSkipped(n)
+				if err := k.Err(); err != nil {
+					return err
+				}
+				// A skip is never progress: the steady-state certificate
+				// guarantees Progress() is unchanged across it, so the
+				// watchdog keeps counting — exactly as in the ticked loop.
+				// Only the first-ever iteration can still observe a change
+				// here (the -1 sentinel); the ticked loop would have
+				// recorded it at the window's first cycle, so pin exactly
+				// that.
+				state := k.Progress()
+				if state != lastState {
+					lastState = state
+					lastProgress = before + 1
+				}
+				if rec != nil {
+					rec.TickN(n, k.Draining != nil && k.Draining())
+					if rec.ProgressDue(k.Ctx.Cycles) {
+						rec.EmitProgress(k.Ctx.Cycles, state, k.Ctx.UtilizationSoFar(), k.Ctx.SkippedSoFar())
+					}
+				}
+				if k.Ctx.Cycles-lastProgress > DeadlockWindow {
+					if k.Deadlock != nil {
+						return k.Deadlock(DeadlockWindow)
+					}
+					return fmt.Errorf("sim: no progress for %d cycles", uint64(DeadlockWindow))
+				}
+				continue
+			}
+		}
 		k.Control()
 		if err := k.Err(); err != nil {
 			return err
@@ -66,7 +139,7 @@ func (k *Kernel) Run() error {
 		if rec != nil {
 			rec.Tick(k.Draining != nil && k.Draining())
 			if rec.ProgressDue(k.Ctx.Cycles) {
-				rec.EmitProgress(k.Ctx.Cycles, state, k.Ctx.UtilizationSoFar())
+				rec.EmitProgress(k.Ctx.Cycles, state, k.Ctx.UtilizationSoFar(), k.Ctx.SkippedSoFar())
 			}
 		}
 		if k.Ctx.Cycles-lastProgress > DeadlockWindow {
@@ -77,4 +150,43 @@ func (k *Kernel) Run() error {
 		}
 	}
 	return nil
+}
+
+// skipBound computes how many cycles may be fast-forwarded right now: the
+// minimum of the controller's and every component's steady-state bound,
+// additionally capped so two ticked-loop observation points land on exactly
+// the cycles they would have landed on without the skip:
+//
+//   - the deadlock watchdog aborts after its check at cycle
+//     lastProgress + DeadlockWindow + 1, so a skip never jumps past that
+//     cycle (and the post-skip check fires there, identically);
+//   - the periodic progress callback fires at every multiple of the
+//     configured period, so a skip never jumps past the next multiple.
+//
+// The controller bound is probed first: in busy states it returns 0 after a
+// few field comparisons, keeping the fast-forward probe cheap on runs that
+// never skip.
+func (k *Kernel) skipBound(las []Lookahead, lastProgress uint64) uint64 {
+	n := k.Lookahead()
+	if n == 0 {
+		return 0
+	}
+	for _, la := range las {
+		b := la.Lookahead()
+		if b == 0 {
+			return 0
+		}
+		if b < n {
+			n = b
+		}
+	}
+	if dead := lastProgress + DeadlockWindow + 1 - k.Ctx.Cycles; n > dead {
+		n = dead
+	}
+	if every := k.Ctx.Rec.ProgressPeriod(); every > 0 {
+		if due := every - k.Ctx.Cycles%every; n > due {
+			n = due
+		}
+	}
+	return n
 }

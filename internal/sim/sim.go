@@ -19,6 +19,7 @@
 package sim
 
 import (
+	"repro/internal/comp"
 	"repro/internal/dn"
 	"repro/internal/rn"
 	"repro/internal/stats"
@@ -31,6 +32,16 @@ import (
 type Tickable interface {
 	Cycle()
 }
+
+// Lookahead re-exports the fast-forward capability (comp.Lookahead) under
+// the simulation vocabulary: a Tickable that also implements Lookahead lets
+// the kernel skip provably-steady stretches of cycles in one jump instead
+// of ticking through them. See Kernel.Run for the exactness contract.
+type Lookahead = comp.Lookahead
+
+// Unbounded mirrors comp.Unbounded: a Lookahead bound meaning "steady for
+// any horizon".
+const Unbounded = comp.Unbounded
 
 // Runner is one built accelerator composition: it executes whole operations
 // on the simulated fabric and returns the result with per-run statistics.

@@ -12,7 +12,10 @@ type JobProgress struct {
 	Cycles    uint64
 	Outputs   int
 	Occupancy float64
-	Done      bool
+	// Skipped counts the cycles the kernel fast-forwarded over rather than
+	// ticked (always ≤ Cycles); the board renders it as a skip rate.
+	Skipped uint64
+	Done    bool
 }
 
 // Board aggregates periodic progress samples from a batch of concurrent
@@ -31,8 +34,10 @@ func NewBoard() *Board {
 	return &Board{jobs: make(map[string]*JobProgress)}
 }
 
-// Update records the latest sample for the named job.
-func (b *Board) Update(label string, cycles uint64, outputs int, occupancy float64) {
+// Update records the latest sample for the named job. skipped is the
+// cumulative count of fast-forwarded cycles (zero when the kernel ticks
+// every cycle).
+func (b *Board) Update(label string, cycles uint64, outputs int, occupancy float64, skipped uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	jp, ok := b.jobs[label]
@@ -41,7 +46,7 @@ func (b *Board) Update(label string, cycles uint64, outputs int, occupancy float
 		b.jobs[label] = jp
 		b.order = append(b.order, label)
 	}
-	jp.Cycles, jp.Outputs, jp.Occupancy = cycles, outputs, occupancy
+	jp.Cycles, jp.Outputs, jp.Occupancy, jp.Skipped = cycles, outputs, occupancy, skipped
 }
 
 // Finish marks the named job complete (creating it if it never reported).
@@ -81,7 +86,12 @@ func (b *Board) Summary() string {
 			done++
 			continue
 		}
-		running = append(running, fmt.Sprintf("%s@%dcyc", label, jp.Cycles))
+		if jp.Skipped > 0 && jp.Cycles > 0 {
+			running = append(running, fmt.Sprintf("%s@%dcyc(ff %d%%)",
+				label, jp.Cycles, 100*jp.Skipped/jp.Cycles))
+		} else {
+			running = append(running, fmt.Sprintf("%s@%dcyc", label, jp.Cycles))
+		}
 	}
 	sort.Strings(running)
 	s := fmt.Sprintf("%d/%d done", done, len(b.order))

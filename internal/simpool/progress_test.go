@@ -105,9 +105,9 @@ func TestMoreWorkersThanJobs(t *testing.T) {
 
 func TestBoardUpdatesAndSummary(t *testing.T) {
 	b := NewBoard()
-	b.Update("job 0", 1000, 5, 0.5)
-	b.Update("job 1", 2000, 9, 0.8)
-	b.Update("job 0", 1500, 7, 0.6) // later sample replaces, not duplicates
+	b.Update("job 0", 1000, 5, 0.5, 0)
+	b.Update("job 1", 2000, 9, 0.8, 0)
+	b.Update("job 0", 1500, 7, 0.6, 750) // later sample replaces, not duplicates
 	b.Finish("job 1")
 	b.Finish("job 2") // finishing an unseen job registers it as done
 
@@ -115,7 +115,7 @@ func TestBoardUpdatesAndSummary(t *testing.T) {
 	if len(snap) != 3 {
 		t.Fatalf("snapshot has %d jobs: %v", len(snap), snap)
 	}
-	if jp := snap["job 0"]; jp.Cycles != 1500 || jp.Outputs != 7 || jp.Occupancy != 0.6 || jp.Done {
+	if jp := snap["job 0"]; jp.Cycles != 1500 || jp.Outputs != 7 || jp.Occupancy != 0.6 || jp.Skipped != 750 || jp.Done {
 		t.Errorf("job 0: %+v", jp)
 	}
 	if !snap["job 1"].Done || !snap["job 2"].Done {
@@ -123,7 +123,7 @@ func TestBoardUpdatesAndSummary(t *testing.T) {
 	}
 
 	s := b.Summary()
-	if !strings.Contains(s, "2/3 done") || !strings.Contains(s, "job 0@1500cyc") {
+	if !strings.Contains(s, "2/3 done") || !strings.Contains(s, "job 0@1500cyc(ff 50%)") {
 		t.Errorf("summary: %q", s)
 	}
 	// Mutating the snapshot must not reach the board.
@@ -140,7 +140,7 @@ func TestBoardConcurrent(t *testing.T) {
 	err := Indexes(context.Background(), 4, 16, func(_ context.Context, i int) error {
 		label := string(rune('a' + i))
 		for c := uint64(1); c <= 50; c++ {
-			b.Update(label, c, int(c), 0.5)
+			b.Update(label, c, int(c), 0.5, c/2)
 		}
 		b.Finish(label)
 		return nil

@@ -108,6 +108,7 @@ type Progress struct {
 	Cycles    uint64
 	Outputs   int     // completed outputs so far
 	Occupancy float64 // multiplier busy fraction so far, in [0,1]
+	Skipped   uint64  // cycles the kernel fast-forwarded instead of ticking
 }
 
 // Span is one contiguous stretch of cycles attributed to a single class
@@ -334,6 +335,43 @@ func (r *Recorder) Tick(draining bool) {
 	}
 }
 
+// TickN attributes n consecutive cycles at once from the counter deltas
+// since the previous Tick/TickN/Sync — the fast-forward counterpart of
+// Tick. Its exactness rests on the steady-state contract of the kernel's
+// skip: across a skipped stretch every watched counter advances by the same
+// per-cycle delta each cycle (the closed-form Advance replays n identical
+// cycles), so the total delta is n times the per-cycle delta, dividing by n
+// recovers exactly what each ticked call would have seen, and every skipped
+// cycle classifies into the same class. tierState.add(cl, n) is in turn
+// window-exact — attributing n cycles at once produces the same totals and
+// spans as n single-cycle adds — so the exact-sum invariant (per-tier class
+// totals equal the run's cycle count) is preserved bit-for-bit.
+func (r *Recorder) TickN(n uint64, draining bool) {
+	if r == nil || n == 0 {
+		return
+	}
+	for i, c := range r.counters {
+		v := c.Value()
+		r.delta[i] = (v - r.last[i]) / n
+		r.last[i] = v
+	}
+	for ti := range r.tiers {
+		t := &r.tiers[ti]
+		cl := Idle
+		switch {
+		case anyPositive(r.delta, t.busy):
+			cl = Busy
+		case anyPositive(r.delta, t.stallBW):
+			cl = StallBandwidth
+		case anyPositive(r.delta, t.stallIn):
+			cl = StallInput
+		case draining:
+			cl = Drain
+		}
+		t.add(cl, n)
+	}
+}
+
 // AddSpan bulk-attributes n cycles of class cl to one tier — how the
 // non-pipelined compositions (systolic tiles, SNAPEA lanes) and the initial
 // DRAM fill account phases whose classification is known wholesale.
@@ -360,12 +398,24 @@ func (r *Recorder) ProgressDue(cycles uint64) bool {
 		cycles%uint64(r.cfg.ProgressEvery) == 0
 }
 
-// EmitProgress invokes the configured progress callback.
-func (r *Recorder) EmitProgress(cycles uint64, outputs int, occupancy float64) {
+// ProgressPeriod returns the configured progress-callback period in cycles,
+// or zero when no periodic callback will fire. The kernel's fast-forward
+// path caps skips at the next period multiple so callbacks fire at exactly
+// the cycles the ticked loop would have fired them.
+func (r *Recorder) ProgressPeriod() uint64 {
+	if r == nil || r.cfg.ProgressEvery <= 0 || r.cfg.OnProgress == nil {
+		return 0
+	}
+	return uint64(r.cfg.ProgressEvery)
+}
+
+// EmitProgress invokes the configured progress callback. skipped is the
+// run's cumulative fast-forwarded cycle count (zero on ticked runs).
+func (r *Recorder) EmitProgress(cycles uint64, outputs int, occupancy float64, skipped uint64) {
 	if r == nil || r.cfg.OnProgress == nil {
 		return
 	}
-	r.cfg.OnProgress(Progress{Label: r.cfg.Label, Cycles: cycles, Outputs: outputs, Occupancy: occupancy})
+	r.cfg.OnProgress(Progress{Label: r.cfg.Label, Cycles: cycles, Outputs: outputs, Occupancy: occupancy, Skipped: skipped})
 }
 
 // Finalize flushes partial span windows, assembles the RunTrace, and hands

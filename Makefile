@@ -36,12 +36,13 @@ bench:
 	$(GO) test -run=XXX -bench='BenchmarkCounters' ./internal/comp/
 
 # bench-json runs the canonical benchmark set (Fig 5 parallel scaling, trace
-# overhead, fast-forward vs ticked, counter hot path) through cmd/benchjson
+# overhead, fast-forward vs ticked, multi-core chip scaling, counter hot
+# path) through cmd/benchjson
 # and writes the machine-readable snapshot that each perf PR commits as its
 # BENCH_<issue>.json trajectory point. bench-json-smoke is the CI guard: one
 # iteration, output discarded — it keeps the harness runnable without
 # committing CI-runner noise as a measurement.
-BENCH_SNAPSHOT ?= BENCH_6.json
+BENCH_SNAPSHOT ?= BENCH_7.json
 
 bench-json:
 	$(GO) run ./cmd/benchjson -benchtime 3x -out $(BENCH_SNAPSHOT)

@@ -10,6 +10,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -170,6 +171,29 @@ func BenchmarkFig9cResNetSensitivity(b *testing.B) {
 			b.Fatal("no rows")
 		}
 		b.ReportMetric(rows[0].NormRuntime, "best-layer-norm-runtime")
+	}
+}
+
+// --- Multi-core chip scaling --------------------------------------------
+
+// BenchmarkMulticoreScaling runs the chip scaling sweep (1/2/4 cores ×
+// layer/batch placement, MobileNets, 8 streams) and reports each
+// configuration's inference throughput plus the 4-core speedups — the
+// snapshot metric pinning that chip composition actually overlaps work
+// under both placement policies.
+func BenchmarkMulticoreScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Multicore(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Throughput, fmt.Sprintf("%s-x%d-str/Mcyc", r.Placement, r.Cores))
+			if r.Cores == exp.MulticoreCores[len(exp.MulticoreCores)-1] {
+				b.ReportMetric(r.Speedup, r.Placement+"-x4-speedup")
+				b.ReportMetric(float64(r.ICNWaitCycles), r.Placement+"-x4-icn-wait")
+			}
+		}
 	}
 }
 

@@ -35,7 +35,7 @@ var suites = []struct {
 	pkg     string
 	pattern string
 }{
-	{".", "^(BenchmarkFig5Parallel|BenchmarkTraceOverhead|BenchmarkFastForward)$"},
+	{".", "^(BenchmarkFig5Parallel|BenchmarkTraceOverhead|BenchmarkFastForward|BenchmarkMulticoreScaling)$"},
 	{"./internal/comp", "^(BenchmarkCountersHandle|BenchmarkCountersString)$"},
 }
 

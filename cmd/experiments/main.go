@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|checksweep|all> [flags]
+//	experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|multicore|checksweep|all> [flags]
 //
 // Flags:
 //
@@ -73,6 +73,8 @@ func main() {
 			return fig9c(ctx, *workers, *scale)
 		case "stalls":
 			return stalls(ctx, *workers, *scale)
+		case "multicore":
+			return multicore(*scale)
 		case "checksweep":
 			return checksweep()
 		default:
@@ -96,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|checksweep|all> [-scale N] [-models tags] [-images N] [-workers N]")
+	fmt.Fprintln(os.Stderr, "usage: experiments <tablei|tablev|fig1a|fig1b|fig1c|fig5|fig6|fig7|fig9|fig9c|stalls|multicore|checksweep|all> [-scale N] [-models tags] [-images N] [-workers N]")
 }
 
 // checksweep runs the differential verification sweep: every registered
@@ -106,6 +108,25 @@ func usage() {
 func checksweep() error {
 	fmt.Println("== Differential self-check sweep — all architectures vs CPU reference ==")
 	return check.WriteSweep(os.Stdout)
+}
+
+// multicore prints the chip scaling figure: core-count sweep under both
+// placement policies, with the contention the shared memory charges.
+func multicore(scale int) error {
+	fmt.Println("== Multi-core chip scaling — MobileNets, layer vs batch placement ==")
+	rows, err := exp.Multicore(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %6s %8s %12s %12s %11s %8s %12s\n",
+		"place", "cores", "streams", "makespan", "serial", "str/Mcyc", "speedup", "icn-wait")
+	for _, r := range rows {
+		fmt.Printf("%-6s %6d %8d %12d %12d %11.3f %7.2fx %12d\n",
+			r.Placement, r.Cores, r.Streams, r.MakespanCycles, r.SerialCycles,
+			r.Throughput, r.Speedup, r.ICNWaitCycles)
+	}
+	fmt.Println()
+	return nil
 }
 
 // stalls prints the per-tier cycle-attribution table: MAERI under a

@@ -71,7 +71,11 @@ func main() {
 	workers := fs.Int("workers", 0, "parallel simulation jobs for -batch (0 = GOMAXPROCS, 1 = serial)")
 	selfcheck := fs.Bool("selfcheck", false, "verify every simulated output against the CPU reference (gemm/spmm/conv)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON cycle trace to this file (gemm/spmm/conv)")
-	progress := fs.Bool("progress", false, "print periodic per-job progress to stderr (gemm/spmm/conv)")
+	progress := fs.Bool("progress", false, "print periodic per-job progress to stderr (gemm/spmm/conv/model)")
+	cores := fs.Int("cores", 1, "simulated cores on the chip (model subcommand; >1 shares a banked DRAM)")
+	placement := fs.String("placement", "layer", "multi-core placement policy: layer (pipeline stages) | batch (whole streams)")
+	banks := fs.Int("banks", 0, "shared DRAM banks for multi-core runs (0 = default)")
+	streams := fs.Int("streams", 1, "independent inference streams for multi-core model runs")
 	fastforward := fs.Bool("fastforward", true, "skip provably-idle cycles (bit-exact; -fastforward=false forces the fully ticked loop)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -87,7 +91,12 @@ func main() {
 	switch op {
 	case "gemm", "spmm", "conv":
 	case "model":
-		runModelCmd(hw, *modelFile, *weightsFile, *saveWeights, *policy, *seed)
+		if *cores > 1 || *streams > 1 {
+			runModelChipCmd(hw, *modelFile, *weightsFile, *policy, *seed,
+				*cores, *placement, *banks, *streams, *progress)
+		} else {
+			runModelCmd(hw, *modelFile, *weightsFile, *saveWeights, *policy, *seed)
+		}
 		return
 	case "train":
 		runTrainCmd(hw, *modelFile, *weightsFile, *saveWeights, *label, *lr, *steps, *seed)
@@ -433,6 +442,48 @@ func runModelCmd(hw stonne.Hardware, modelFile, weightsFile, saveWeights, policy
 			fatal(err)
 		}
 	}
+}
+
+// runModelChipCmd runs -streams inferences of the model on a simulated
+// chip of -cores cores sharing a banked DRAM, and prints the chip-level
+// summary: per-core load, contention, makespan, and throughput.
+func runModelChipCmd(hw stonne.Hardware, modelFile, weightsFile, policy string, seed uint64,
+	cores int, placement string, banks, streams int, progress bool) {
+	m, w, _ := loadModelAndWeights(modelFile, weightsFile, seed)
+	pol, err := parsePolicy(policy)
+	if err != nil {
+		fatal(err)
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	inputs := make([]*stonne.Tensor, streams)
+	for i := range inputs {
+		inputs[i] = stonne.RandomInput(m, seed+1+uint64(i))
+	}
+	copts := stonne.ChipOptions{Cores: cores, Placement: placement, Banks: banks}
+	if progress {
+		board := simpool.NewBoard()
+		copts.Progress = func(core, stream, stage int, endCycle uint64) {
+			board.Update(fmt.Sprintf("core%d", core), endCycle, stream+1, 0, 0)
+			fmt.Fprintf(os.Stderr, "\r%s", board.Summary())
+		}
+		defer fmt.Fprintln(os.Stderr)
+	}
+	outs, cr, err := stonne.RunModelChip(context.Background(), m, w, inputs, hw, copts, &stonne.RunOptions{Policy: pol})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("model %s on %d× %s (%s placement, %d banks, %d streams)\n\n",
+		m.Name, cr.Cores, hw.Name, cr.Placement, cr.Banks, cr.Streams)
+	fmt.Printf("%-6s %12s %8s %12s\n", "core", "cycles", "util", "energy µJ")
+	for i, r := range cr.PerCore {
+		fmt.Printf("core%-2d %12d %7.1f%% %12.4f\n", i, r.Cycles, 100*r.Utilization, r.TotalEnergy())
+	}
+	fmt.Printf("\nmakespan: %d cycles (serial work %d, icn wait %d)\n",
+		cr.MakespanCycles, cr.Total.Cycles, cr.ICNWaitCycles())
+	fmt.Printf("throughput: %.3f streams/Mcycle, output shape %v\n",
+		cr.Throughput(), outs[0].Shape())
 }
 
 // runTrainCmd runs SGD steps with every GEMM simulated on the accelerator.

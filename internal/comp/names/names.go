@@ -77,6 +77,22 @@ const (
 	SchedRounds = "sched.rounds"
 )
 
+// Chip-level shared-memory interconnect (sim.Chip). These counters exist
+// only on multi-core runs — a core reaching DRAM through a private port
+// never touches them, which is what keeps 1-core chip counter sets
+// byte-identical to the bare-kernel path.
+const (
+	// ICNRequests counts transfers granted to this core by the shared
+	// interconnect (prefetches and blocking fetches).
+	ICNRequests = "icn.requests"
+	// ICNBusyCycles is the time the interconnect spent serving this core's
+	// transfers (grant to completion).
+	ICNBusyCycles = "icn.busy_cycles"
+	// ICNWaitCycles is the contention delay: cycles this core's transfers
+	// waited for the link or their bank behind other cores' traffic.
+	ICNWaitCycles = "icn.wait_cycles"
+)
+
 // Observability layer. TraceFFSkippedCycles counts the cycles the kernel's
 // event-driven fast-forward skipped instead of ticking; it exists only on
 // traced runs so untraced counter sets stay identical to the ticked loop's.

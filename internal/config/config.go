@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/comp"
 	"repro/internal/trace"
 )
 
@@ -242,6 +243,35 @@ type Hardware struct {
 	// progress callbacks). Nil disables tracing at zero per-cycle cost.
 	// It is runtime-only state carrying callbacks and is never serialized.
 	Trace *trace.Config `json:"-"`
+
+	// SharedMem, when non-nil, replaces the run-private DRAM model with a
+	// port into a chip-shared memory system (sim.Chip): each new run
+	// context asks the source for a port bound to the run's private counter
+	// set, so contention is simulated chip-wide while accounting stays
+	// per-run. Like Trace, it is runtime-only state and is never
+	// serialized; nil keeps today's private-DRAM behaviour bit for bit.
+	SharedMem MemPortSource `json:"-"`
+}
+
+// MemPort is the method set a run's engine composition drives off-chip
+// memory through. It restates mem.Port structurally — config sits below
+// mem in the package graph, so the seam is declared here and mem pins the
+// two interfaces identical with compile-time assertions.
+type MemPort interface {
+	FetchCycles(n int) float64
+	BeginPrefetch(now float64, n int)
+	StallCycles(now float64) float64
+	StallLookahead(now uint64) uint64
+	AdvanceStall(n uint64)
+	WriteBack(n int)
+}
+
+// MemPortSource hands each run context a memory port bound to the run's
+// private counter set. A chip-shared memory system implements it once per
+// core; the per-run rebinding is what keeps counter snapshots per-op while
+// the timing state underneath is shared.
+type MemPortSource interface {
+	Port(c *comp.Counters) MemPort
 }
 
 // Validate reports a descriptive error for an inconsistent configuration.

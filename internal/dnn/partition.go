@@ -1,0 +1,44 @@
+package dnn
+
+// PartitionLayers splits a model's layers into at most `parts` contiguous
+// stages balanced by MAC volume — the layer-parallel chip placement's cut
+// points. Each stage is a [start, end) index range into m.Layers; the
+// ranges are non-empty, in order, and cover every layer exactly once.
+// Native layers carry a nominal unit weight so activation-only tails
+// (pooling, softmax) still land somewhere sensible instead of all
+// gravitating to the last stage.
+func PartitionLayers(m *Model, parts int) [][2]int {
+	n := len(m.Layers)
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		return [][2]int{{0, n}}
+	}
+	weights := make([]uint64, n)
+	var total uint64
+	for i := range m.Layers {
+		w := uint64(m.Layers[i].MACs()) + 1
+		weights[i] = w
+		total += w
+	}
+	bounds := make([][2]int, 0, parts)
+	start := 0
+	var acc uint64
+	for i := 0; i < n; i++ {
+		acc += weights[i]
+		emitted := len(bounds)
+		stagesLeft := parts - emitted - 1
+		layersLeft := n - i - 1
+		if stagesLeft == 0 {
+			break
+		}
+		// Cut at the running quantile, or when the remaining layers are
+		// only just enough to keep every later stage non-empty.
+		if acc*uint64(parts) >= total*uint64(emitted+1) || layersLeft == stagesLeft {
+			bounds = append(bounds, [2]int{start, i + 1})
+			start = i + 1
+		}
+	}
+	return append(bounds, [2]int{start, n})
+}

@@ -1,0 +1,100 @@
+package dnn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestPartitionLayersCoverage pins the structural contract: contiguous,
+// non-empty, in-order stages covering every layer exactly once, for every
+// model in the zoo across the core counts the chip sweeps.
+func TestPartitionLayersCoverage(t *testing.T) {
+	for _, m := range AllModels() {
+		for _, parts := range []int{1, 2, 3, 4, 8, 64, 1000} {
+			bounds := PartitionLayers(m, parts)
+			want := parts
+			if want > len(m.Layers) {
+				want = len(m.Layers)
+			}
+			if want < 1 {
+				want = 1
+			}
+			if len(bounds) != want {
+				t.Errorf("%s parts=%d: got %d stages, want %d", m.Name, parts, len(bounds), want)
+			}
+			next := 0
+			for _, b := range bounds {
+				if b[0] != next || b[1] <= b[0] {
+					t.Fatalf("%s parts=%d: bad stage %v (next=%d)", m.Name, parts, b, next)
+				}
+				next = b[1]
+			}
+			if next != len(m.Layers) {
+				t.Errorf("%s parts=%d: stages end at %d, want %d", m.Name, parts, next, len(m.Layers))
+			}
+		}
+	}
+}
+
+// TestPartitionLayersBalance checks the cuts track MAC volume: no stage of
+// a 4-way split of a deep model should hold the overwhelming majority of
+// the MACs.
+func TestPartitionLayersBalance(t *testing.T) {
+	m := MobileNetsV1()
+	bounds := PartitionLayers(m, 4)
+	var total uint64
+	stage := make([]uint64, len(bounds))
+	for si, b := range bounds {
+		for i := b[0]; i < b[1]; i++ {
+			stage[si] += uint64(m.Layers[i].MACs()) + 1
+		}
+		total += stage[si]
+	}
+	for si, s := range stage {
+		if s*2 > total {
+			t.Errorf("stage %d holds %d of %d weighted MACs — partition is degenerate", si, s, total)
+		}
+	}
+}
+
+// TestRunRangeMatchesRun pins the stage primitive: cutting a model with
+// skip connections at every boundary and resuming must reproduce the
+// uncut execution bit for bit.
+func TestRunRangeMatchesRun(t *testing.T) {
+	m := SqueezeNet() // Concat skip connections exercise the saved map
+	sm, err := ScaleSpatial(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := InitWeights(sm, 0xbeef)
+	input := RandomInput(sm, 0x1234)
+
+	whole := &Executor{Model: sm, Weights: w}
+	want, err := whole.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, parts := range []int{2, 3, 5} {
+		exec := &Executor{Model: sm, Weights: w}
+		act := input
+		saved := map[string]*tensor.Tensor{}
+		for _, b := range PartitionLayers(sm, parts) {
+			var err error
+			act, err = exec.RunRange(act, saved, b[0], b[1])
+			if err != nil {
+				t.Fatalf("parts=%d stage %v: %v", parts, b, err)
+			}
+		}
+		if !tensor.SameShape(act, want) {
+			t.Fatalf("parts=%d: shape %v, want %v", parts, act.Shape(), want.Shape())
+		}
+		got, ref := act.Data(), want.Data()
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("parts=%d: output[%d] = %v, want %v", parts, i, got[i], ref[i])
+			}
+		}
+	}
+}

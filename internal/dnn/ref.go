@@ -36,9 +36,17 @@ type Executor struct {
 // (pre-argmax scores, exactly what the paper compares between PyTorch-CPU
 // and STONNE executions for functional validation).
 func (e *Executor) Run(input *tensor.Tensor) (*tensor.Tensor, error) {
-	act := input
-	saved := map[string]*tensor.Tensor{}
-	for i := range e.Model.Layers {
+	return e.RunRange(input, map[string]*tensor.Tensor{}, 0, len(e.Model.Layers))
+}
+
+// RunRange executes layers [from, to) starting from activation act, with
+// saved holding the skip-connection activations produced so far (mutated
+// in place). It returns the activation after layer to-1. This is the chip
+// scheduler's stage primitive: a stream's state between pipeline stages is
+// exactly the (activation, saved-map) pair, so a model can be cut at any
+// layer boundary and resumed on another core.
+func (e *Executor) RunRange(act *tensor.Tensor, saved map[string]*tensor.Tensor, from, to int) (*tensor.Tensor, error) {
+	for i := from; i < to; i++ {
 		l := &e.Model.Layers[i]
 		out, err := e.runLayer(l, act, saved)
 		if err != nil {

@@ -15,6 +15,15 @@ func DefaultExtraRoots() map[string][]string {
 			"DRAM.StallCycles",
 			"DRAM.StallLookahead",
 			"DRAM.AdvanceStall",
+			// The chip interconnect: CorePort stands in for DRAM on every
+			// multi-core tick path, and each of its transfers grants through
+			// SharedDRAM.Serve.
+			"SharedDRAM.Serve",
+			"CorePort.FetchCycles",
+			"CorePort.BeginPrefetch",
+			"CorePort.StallCycles",
+			"CorePort.StallLookahead",
+			"CorePort.AdvanceStall",
 		},
 		// Fired from the controller's per-cycle VN scan and from the DN's
 		// per-cycle delivery sink/prober callbacks.

@@ -37,6 +37,17 @@ func TestHotPathAllocExtraRoots(t *testing.T) {
 	linttest.Run(t, lint.HotPathAlloc(extra), "hotleaf")
 }
 
+// TestHotPathAllocChipRoots pins the chip-interconnect tier of the root
+// table: the SharedDRAM.Serve / CorePort.* shapes added for the multi-core
+// composition are rooted the same way, including transitive reach from a
+// port method into the grant queue.
+func TestHotPathAllocChipRoots(t *testing.T) {
+	extra := map[string][]string{
+		"repro/internal/lint/testdata/chipleaf": {"grantQueue.Serve", "port.FetchCycles"},
+	}
+	linttest.Run(t, lint.HotPathAlloc(extra), "chipleaf")
+}
+
 // TestUnknownAnalyzerDirective pins the hygiene rule that a typo'd
 // //lint:ignore target is flagged instead of silently suppressing nothing.
 func TestUnknownAnalyzerDirective(t *testing.T) {

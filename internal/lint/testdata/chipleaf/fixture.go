@@ -1,0 +1,30 @@
+// Package fixture mirrors the chip-interconnect hot leaves: a grant method
+// (the SharedDRAM.Serve shape) and a port method that calls it (the
+// CorePort.FetchCycles shape). Both are configured roots, so allocation in
+// either — or anything they reach — is flagged.
+package fixture
+
+type grantQueue struct {
+	bankFree []float64
+	waits    []float64
+}
+
+func (q *grantQueue) Serve(issue float64) float64 {
+	q.waits = append(q.waits, issue) // want `append \(may grow the backing array\) on the per-tick path \(reachable from grantQueue.Serve \(configured hot leaf\)\)`
+	return issue
+}
+
+type port struct {
+	q    *grantQueue
+	hist []float64
+}
+
+func (p *port) FetchCycles(n int) float64 {
+	done := p.q.Serve(float64(n))
+	p.hist = append(p.hist, done) // want `append \(may grow the backing array\) on the per-tick path \(reachable from port.FetchCycles \(configured hot leaf\)\)`
+	return done
+}
+
+func (p *port) Coldpath() {
+	p.hist = append(p.hist, 0) // not configured as a root: ok
+}

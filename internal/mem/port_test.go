@@ -1,0 +1,156 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/comp"
+	"repro/internal/comp/names"
+)
+
+// TestSharedUncontendedMatchesPrivate pins the parity-critical shape of
+// the shared model: a transfer on an idle shared system costs exactly what
+// the private DRAM model charges for the same element count.
+func TestSharedUncontendedMatchesPrivate(t *testing.T) {
+	hw := testHW()
+	for _, n := range []int{1, 100, 4096, 100_000} {
+		priv := NewDRAM(hw, comp.NewCounters())
+		want := priv.FetchCycles(n)
+
+		s := NewSharedDRAM(hw, 0, 0)
+		start, completion := s.Serve(0, n)
+		if start != 0 {
+			t.Errorf("n=%d: idle system delayed the grant to %g", n, start)
+		}
+		if got := completion - start; math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d: shared uncontended cost %g, private cost %g", n, got, want)
+		}
+	}
+}
+
+// TestSharedContentionAndBanking pins the per-bank queueing model: with a
+// bank free, concurrent transfers overlap fully; once in-flight transfers
+// outnumber banks, the overflow queues behind the earliest grant; and a
+// single bank serializes everything.
+func TestSharedContentionAndBanking(t *testing.T) {
+	hw := testHW()
+	const n = 100_000
+
+	banked := NewSharedDRAM(hw, 8, 0)
+	_, c1 := banked.Serve(0, n)
+	for i := 0; i < 7; i++ {
+		if s, _ := banked.Serve(0, n); s != 0 {
+			t.Fatalf("transfer %d queued at %g with a bank free", i+2, s)
+		}
+	}
+	s9, _ := banked.Serve(0, n) // ninth concurrent transfer: all banks busy
+	if s9 != c1 {
+		t.Errorf("overflow transfer started at %g, want the first bank to free at %g", s9, c1)
+	}
+
+	single := NewSharedDRAM(hw, 1, 0)
+	_, c1s := single.Serve(0, n)
+	s2s, _ := single.Serve(0, n)
+	if s2s != c1s {
+		t.Errorf("1 bank: second transfer started at %g, want serialized behind the first at %g", s2s, c1s)
+	}
+}
+
+// TestSharedLinkBandwidthKnob pins the configurable link: a narrower link
+// lengthens the stream component of every transfer.
+func TestSharedLinkBandwidthKnob(t *testing.T) {
+	hw := testHW()
+	full := NewSharedDRAM(hw, 1, 0)
+	_, cFull := full.Serve(0, 1<<16)
+	halfGBs := hw.DRAM.BandwidthGBs * float64(hw.DRAM.Modules) / 2
+	half := NewSharedDRAM(hw, 1, halfGBs)
+	_, cHalf := half.Serve(0, 1<<16)
+	if cHalf <= cFull {
+		t.Errorf("half-bandwidth link not slower: %g vs %g", cHalf, cFull)
+	}
+}
+
+// TestCorePortMirrorsPrivateCounters pins the Port contract on an idle
+// system: a core port's blocking fetch accounts the same dram.* counters
+// and returns the same duration as a private DRAM.
+func TestCorePortMirrorsPrivateCounters(t *testing.T) {
+	hw := testHW()
+	const n = 50_000
+
+	pc := comp.NewCounters()
+	priv := NewDRAM(hw, pc)
+	wantDur := priv.FetchCycles(n)
+
+	s := NewSharedDRAM(hw, 0, 0)
+	cc := comp.NewCounters()
+	port := NewCorePort(s, 0).Port(cc)
+	if got := port.FetchCycles(n); math.Abs(got-wantDur) > 1e-9 {
+		t.Errorf("idle core-port fetch %g cycles, private %g", got, wantDur)
+	}
+	for _, key := range []string{names.DRAMReads, names.DRAMRowActivations} {
+		if got, want := cc.Get(key), pc.Get(key); got != want {
+			t.Errorf("%s = %d on the core port, %d on the private model", key, got, want)
+		}
+	}
+	if cc.Get(names.ICNRequests) != 1 {
+		t.Errorf("icn.requests = %d, want 1", cc.Get(names.ICNRequests))
+	}
+	if cc.Get(names.ICNWaitCycles) != 0 {
+		t.Errorf("idle fetch recorded %d wait cycles", cc.Get(names.ICNWaitCycles))
+	}
+}
+
+// TestCorePortStallLookaheadExact pins the fast-forward contract: the
+// lookahead bound equals the stalled-cycle count the ticked probes would
+// observe, and traffic from another core granted later never moves an
+// already-issued prefetch's completion.
+func TestCorePortStallLookaheadExact(t *testing.T) {
+	hw := testHW()
+	s := NewSharedDRAM(hw, 0, 0)
+	c0, c1 := comp.NewCounters(), comp.NewCounters()
+	p0 := NewCorePort(s, 0)
+	port0 := p0.Port(c0)
+	port1 := NewCorePort(s, 1).Port(c1)
+
+	port0.BeginPrefetch(0, 100_000)
+	before := port0.StallLookahead(0)
+	if before == 0 {
+		t.Fatal("prefetch of 100k elements reported no stall")
+	}
+	// Ticked equivalence: the first cycle at which StallCycles reports no
+	// stall is exactly `before`.
+	if got := port0.StallCycles(float64(before)); got != 0 {
+		t.Errorf("StallCycles at the lookahead bound = %g, want 0", got)
+	}
+	if got := port0.StallCycles(float64(before - 1)); got <= 0 {
+		t.Errorf("StallCycles one cycle before the bound = %g, want > 0", got)
+	}
+
+	// A competing core's transfer granted afterwards must not move it.
+	port1.BeginPrefetch(0, 500_000)
+	if after := port0.StallLookahead(0); after != before {
+		t.Errorf("later traffic moved the lookahead bound %d -> %d", before, after)
+	}
+}
+
+// TestCorePortContentionCounters pins the icn.* attribution: on a 1-bank
+// system a transfer queued behind another core's records its wait.
+func TestCorePortContentionCounters(t *testing.T) {
+	hw := testHW()
+	s := NewSharedDRAM(hw, 1, 0)
+	c0, c1 := comp.NewCounters(), comp.NewCounters()
+	port0 := NewCorePort(s, 0).Port(c0)
+	port1 := NewCorePort(s, 1).Port(c1)
+
+	port0.BeginPrefetch(0, 200_000)
+	port1.BeginPrefetch(0, 200_000)
+	if w := c1.Get(names.ICNWaitCycles); w == 0 {
+		t.Error("contended prefetch recorded no icn.wait_cycles")
+	}
+	if w := c0.Get(names.ICNWaitCycles); w != 0 {
+		t.Errorf("first-granted prefetch recorded %d wait cycles", w)
+	}
+	if b := c1.Get(names.ICNBusyCycles); b == 0 {
+		t.Error("served prefetch recorded no icn.busy_cycles")
+	}
+}

@@ -1,0 +1,239 @@
+package mem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comp"
+	"repro/internal/comp/names"
+	"repro/internal/config"
+)
+
+// DefaultBanks is the shared DRAM bank count a chip uses when the
+// configuration does not say otherwise.
+const DefaultBanks = 8
+
+// SharedDRAM is the chip-level shared memory system: B banks behind a
+// link, serving every core's transfers through per-bank queues with a
+// round-robin bank grant. It keeps the first-order stance of the private
+// DRAM model — transfers are transactions with closed-form durations, not
+// per-beat traffic — and adds exactly one new effect: transfers from
+// different cores contend.
+//
+// A transfer costs what the private model's FetchCycles charges — stream
+// time at the link rate plus row-activation overhead — and occupies the
+// granted bank for that whole duration; transfers on different banks
+// overlap fully, the banked-DRAM shape (HBM pseudo-channels). An
+// uncontended transfer therefore costs exactly what the private model
+// charges, aggregate chip bandwidth scales with the bank count, and
+// contention appears as queueing when in-flight transfers outnumber banks
+// (or collide on one under round-robin).
+//
+// A transfer's completion time is fixed at Serve time and never
+// retroactively changed — later arrivals only ever queue behind earlier
+// grants. That is the property the kernel's fast-forward relies on: a
+// core's StallLookahead bound (the next interconnect event it waits on)
+// stays exact no matter what other cores do afterwards.
+//
+// SharedDRAM is not safe for concurrent use: the chip scheduler runs ops
+// sequentially in deterministic event order, which is also what makes
+// N-core runs bit-identical across repeats.
+type SharedDRAM struct {
+	elemsPerCycle float64
+	rowElems      int
+	rowMiss       int
+
+	bankFree []float64 // chip cycle each bank is next free
+	next     int       // round-robin bank grant cursor
+}
+
+// NewSharedDRAM builds the shared memory system from the chip's DRAM
+// parameters. banks <= 0 uses DefaultBanks; linkGBs <= 0 derives the link
+// bandwidth from the configuration's modules, matching what a private
+// DRAM would deliver.
+func NewSharedDRAM(h *config.Hardware, banks int, linkGBs float64) *SharedDRAM {
+	if banks <= 0 {
+		banks = DefaultBanks
+	}
+	if linkGBs <= 0 {
+		linkGBs = h.DRAM.BandwidthGBs * float64(h.DRAM.Modules)
+	}
+	bytesPerCycle := linkGBs * 1e9 / (h.ClockGHz * 1e9)
+	return &SharedDRAM{
+		elemsPerCycle: bytesPerCycle / float64(h.BytesPerElement),
+		rowElems:      h.DRAM.RowBytes / h.BytesPerElement,
+		rowMiss:       h.DRAM.RowMissLatency,
+		bankFree:      make([]float64, banks),
+	}
+}
+
+// Banks returns the configured bank count.
+func (s *SharedDRAM) Banks() int { return len(s.bankFree) }
+
+// Serve grants a transfer of n elements issued at chip cycle `issue` to
+// the next bank in round-robin order, queueing behind whatever that bank is
+// already serving. It returns the grant and completion cycles; wait time is
+// start-issue, and completion-start is exactly the private model's
+// uncontended cost.
+func (s *SharedDRAM) Serve(issue float64, n int) (start, completion float64) {
+	if n <= 0 {
+		return issue, issue
+	}
+	stream := float64(n) / s.elemsPerCycle
+	rows := 1 + n/s.rowElems
+	overhead := float64(rows*s.rowMiss) * 0.1 // banking hides most activations
+	b := s.next
+	s.next++
+	if s.next == len(s.bankFree) {
+		s.next = 0
+	}
+	start = issue
+	if s.bankFree[b] > start {
+		start = s.bankFree[b]
+	}
+	completion = start + stream + overhead
+	s.bankFree[b] = completion
+	return start, completion
+}
+
+// rowsFor is the row-activation count the private model would charge a
+// transfer of n elements (shared by CorePort accounting).
+func (s *SharedDRAM) rowsFor(n int) int { return 1 + n/s.rowElems }
+
+// CorePort is one core's view of a SharedDRAM: it implements Port (so the
+// engine compositions drive it exactly as they drive a private DRAM) and
+// config.MemPortSource (so sim.NewCtx can rebind it to each op's private
+// counter set). The port owns the translation between a run's op-local
+// clock and the chip clock: StartOp pins the chip cycle at which the
+// current op's cycle zero sits, and every transfer is issued in chip time,
+// so contention with other cores lands in the op's observed stalls.
+type CorePort struct {
+	shared *SharedDRAM
+	core   int
+
+	base          float64 // chip cycle of the current op's cycle zero
+	selfReady     float64 // chip cycle the core's last transfer completes
+	prefetchReady float64 // op-local cycle the in-flight prefetch completes
+
+	cReads, cRowActs, cStallEvents, cWrites comp.Counter
+	cICNReq, cICNBusy, cICNWait             comp.Counter
+}
+
+// NewCorePort builds core's port into the shared memory system.
+func NewCorePort(s *SharedDRAM, core int) *CorePort {
+	return &CorePort{shared: s, core: core}
+}
+
+// StartOp pins the chip cycle at which the next op's cycle zero sits and
+// resets the op-local prefetch horizon. The chip scheduler calls it once
+// per scheduled stage, before the core's kernel starts ticking.
+func (p *CorePort) StartOp(base float64) {
+	p.base = base
+	p.prefetchReady = 0
+}
+
+// Port rebinds the port to a fresh run's counter set and returns itself —
+// the config.MemPortSource hook sim.NewCtx calls exactly once per op. A
+// new op's local clock restarts at zero, so the port re-bases its chip
+// mapping the way the private model does (a fresh DRAM per Ctx): the
+// prefetch horizon resets, and op cycle zero maps to the core's current
+// memory horizon — the furthest of the stage's start and the core's last
+// transfer completion. For compute-bound stages that is earlier than the
+// true op start, a deliberate first-order simplification: transfers stay
+// correctly ordered per core (selfReady serializes them) and contention
+// stays deterministic; only the cross-core interleaving is approximate.
+func (p *CorePort) Port(c *comp.Counters) config.MemPort {
+	if p.selfReady > p.base {
+		p.base = p.selfReady
+	}
+	p.prefetchReady = 0
+	p.cReads = c.Counter(names.DRAMReads)
+	p.cRowActs = c.Counter(names.DRAMRowActivations)
+	p.cStallEvents = c.Counter(names.DRAMStallEvents)
+	p.cWrites = c.Counter(names.DRAMWrites)
+	p.cICNReq = c.Counter(names.ICNRequests)
+	p.cICNBusy = c.Counter(names.ICNBusyCycles)
+	p.cICNWait = c.Counter(names.ICNWaitCycles)
+	return p
+}
+
+// transfer issues n elements at chip cycle `issue` (no earlier than the
+// core's previous transfer — a core's own requests serialize, exactly as
+// the private model's prefetchReady chain does) and returns the chip cycle
+// the data lands.
+func (p *CorePort) transfer(issue float64, n int) float64 {
+	if p.selfReady > issue {
+		issue = p.selfReady
+	}
+	start, completion := p.shared.Serve(issue, n)
+	p.selfReady = completion
+	p.cReads.Add(uint64(n))
+	p.cRowActs.Add(uint64(p.shared.rowsFor(n)))
+	p.cICNReq.Add(1)
+	p.cICNBusy.Add(uint64(completion - start + 0.5))
+	p.cICNWait.Add(uint64(start - issue + 0.5))
+	return completion
+}
+
+// FetchCycles streams n elements as a blocking fetch issued at the op's
+// current prefetch horizon and returns the op-local cycles until the data
+// lands — the private model's duration plus any contention wait.
+func (p *CorePort) FetchCycles(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	issue := p.base + p.prefetchReady
+	return p.transfer(issue, n) - issue
+}
+
+// BeginPrefetch starts a double-buffered transfer of n elements at
+// op-local cycle `now`, mirroring the private model's serialization of
+// successive prefetches and adding shared-link/bank contention on top.
+func (p *CorePort) BeginPrefetch(now float64, n int) {
+	start := now
+	if p.prefetchReady > start {
+		start = p.prefetchReady
+	}
+	p.prefetchReady = p.transfer(p.base+start, n) - p.base
+}
+
+// StallCycles reports how many op-local cycles past `now` the in-flight
+// prefetch still needs, counting one stall event per probe — identical in
+// shape to the private model; the contention is already folded into
+// prefetchReady.
+func (p *CorePort) StallCycles(now float64) float64 {
+	if p.prefetchReady <= now {
+		return 0
+	}
+	p.cStallEvents.Add(1)
+	return p.prefetchReady - now
+}
+
+// StallLookahead is the side-effect-free fast-forward probe: the bound is
+// exact because the transfer's completion was fixed when it was granted —
+// later traffic from other cores can only queue behind it, never push it.
+// A core therefore skips at most to its next interconnect event.
+func (p *CorePort) StallLookahead(now uint64) uint64 {
+	if p.prefetchReady <= float64(now) {
+		return 0
+	}
+	return uint64(math.Ceil(p.prefetchReady)) - now
+}
+
+// AdvanceStall replays the bookkeeping of n skipped stalled cycles.
+func (p *CorePort) AdvanceStall(n uint64) { p.cStallEvents.Add(n) }
+
+// WriteBack accounts n output elements leaving for DRAM; as in the
+// private model, writes are buffered and overlap compute.
+func (p *CorePort) WriteBack(n int) { p.cWrites.Add(uint64(n)) }
+
+// Handoff streams n activation elements through the shared system at chip
+// cycle `now` — the producer-to-consumer transfer of a cross-core stage
+// boundary — and returns the chip cycle the consuming core may start.
+func (p *CorePort) Handoff(now float64, n int) float64 {
+	_, completion := p.shared.Serve(now, n)
+	return completion
+}
+
+// String identifies the port in diagnostics.
+func (p *CorePort) String() string { return fmt.Sprintf("core%d-port", p.core) }

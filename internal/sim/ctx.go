@@ -28,8 +28,12 @@ type Ctx struct {
 	HW       *config.Hardware
 	Counters *comp.Counters
 	GB       *mem.GlobalBuffer
-	DRAM     *mem.DRAM
-	Cycles   uint64
+	// DRAM is the run's off-chip memory port: a private DRAM model on the
+	// bare-kernel path, or a per-core port into the chip-shared memory
+	// system when HW.SharedMem is set (sim.Chip). Either way the engine
+	// compositions drive the same method set.
+	DRAM   mem.Port
+	Cycles uint64
 
 	// Rec is the per-run cycle-attribution recorder, nil unless the
 	// hardware configuration enables tracing. Runners attribute through it
@@ -49,14 +53,24 @@ type Ctx struct {
 	cFFSkipped comp.Counter
 }
 
-// NewCtx builds the per-run context for one operation on hw.
+// NewCtx builds the per-run context for one operation on hw. A shared
+// memory source on the configuration replaces the run-private DRAM with a
+// port into the chip-shared system, rebound to this run's counter set;
+// otherwise the run owns its DRAM model outright, byte-identical to every
+// run before chips existed.
 func NewCtx(hw *config.Hardware) *Ctx {
 	c := comp.NewCounters()
+	var port mem.Port
+	if hw.SharedMem != nil {
+		port = hw.SharedMem.Port(c)
+	} else {
+		port = mem.NewDRAM(hw, c)
+	}
 	ctx := &Ctx{
 		HW:        hw,
 		Counters:  c,
 		GB:        mem.NewGlobalBuffer(hw, c),
-		DRAM:      mem.NewDRAM(hw, c),
+		DRAM:      port,
 		cMults:    c.Counter(names.MNMults),
 		cGBReads:  c.Counter(names.GBReads),
 		cGBWrites: c.Counter(names.GBWrites),

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/comp/names"
+)
+
+// ChipRun aggregates a multi-core chip execution (sim.Chip): per-core
+// merged totals, the chip-wide merged total, and the makespan — the chip
+// wall-clock, which is what overlapping cores actually improve. Per-op
+// cycles accumulate in the merged Runs, so Total.Cycles is the serial sum
+// of work; MakespanCycles falls below it exactly when the chip ran stages
+// in parallel.
+type ChipRun struct {
+	Placement string `json:"placement"`
+	Cores     int    `json:"cores"`
+	Banks     int    `json:"banks"`
+	Streams   int    `json:"streams"`
+
+	// MakespanCycles is the chip cycle at which the last stage of the last
+	// stream completed.
+	MakespanCycles uint64 `json:"makespan_cycles"`
+
+	// PerCore merges every op scheduled onto each core; index is the core.
+	PerCore []*Run `json:"per_core"`
+	// Total merges every op on the chip.
+	Total *Run `json:"total"`
+}
+
+// NewChipRun builds an empty aggregate for a chip of the given shape.
+func NewChipRun(placement string, cores, banks, streams int) *ChipRun {
+	per := make([]*Run, cores)
+	for i := range per {
+		per[i] = &Run{}
+	}
+	return &ChipRun{
+		Placement: placement,
+		Cores:     cores,
+		Banks:     banks,
+		Streams:   streams,
+		PerCore:   per,
+		Total:     &Run{},
+	}
+}
+
+// Add merges one op's run into the core's and the chip's totals.
+func (c *ChipRun) Add(core int, r *Run) {
+	c.PerCore[core].Merge(r)
+	c.Total.Merge(r)
+}
+
+// Throughput is inference streams completed per million chip cycles — the
+// scaling metric of the multi-core figure and benchmark.
+func (c *ChipRun) Throughput() float64 {
+	if c.MakespanCycles == 0 {
+		return 0
+	}
+	return float64(c.Streams) * 1e6 / float64(c.MakespanCycles)
+}
+
+// ICNWaitCycles is the chip-wide contention delay: cycles transfers spent
+// queued behind other cores' traffic at the shared memory system. Zero on
+// 1-core chips, which never touch the interconnect.
+func (c *ChipRun) ICNWaitCycles() uint64 {
+	return c.Total.Counters[names.ICNWaitCycles]
+}
+
+// WriteJSON emits the aggregate summary.
+func (c *ChipRun) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

@@ -1,0 +1,33 @@
+package trace
+
+import "repro/internal/stats"
+
+// TierICN is the chip-level interconnect tier of a multi-core run's cycle
+// breakdown. Unlike the four fabric tiers the per-cycle recorder attributes
+// (DN/MN/RN/MEM), the interconnect is a transaction-level resource shared
+// across cores, so its attribution is reconstructed per op from the icn.*
+// activity counters once the op's cycle count is known — ICNBreakdown does
+// that reconstruction while preserving the exact-sum invariant.
+const TierICN = "ICN"
+
+// ICNBreakdown classifies one op's cycles against the shared interconnect:
+// busy cycles are those the interconnect spent serving this core's
+// transfers, stall-bandwidth cycles the contention delay behind other
+// cores' traffic, and everything else idle (the op neither moving data nor
+// waiting for the grant). The classes are clamped in priority order so the
+// breakdown sums to exactly `cycles` — the same exact-sum invariant the
+// per-cycle recorder guarantees for the fabric tiers — even when transfers
+// overlap compute and the raw counters exceed the op's span.
+func ICNBreakdown(cycles, busy, wait uint64) stats.CycleBreakdown {
+	if busy > cycles {
+		busy = cycles
+	}
+	if wait > cycles-busy {
+		wait = cycles - busy
+	}
+	return stats.CycleBreakdown{
+		Busy:           busy,
+		StallBandwidth: wait,
+		Idle:           cycles - busy - wait,
+	}
+}

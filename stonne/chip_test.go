@@ -1,0 +1,145 @@
+package stonne
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/comp/names"
+	"repro/internal/trace"
+)
+
+// chipTestModel builds the shared fixture: AlexNet at 1/32 spatial scale
+// with seeded weights and a couple of distinct input streams.
+func chipTestModel(t *testing.T, streams int) (*Model, *Weights, []*Tensor) {
+	t.Helper()
+	full, err := ModelByShort("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ScaleSpatial(full, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := InitWeights(m, 0xc41b)
+	inputs := make([]*Tensor, streams)
+	for i := range inputs {
+		inputs[i] = RandomInput(m, uint64(0x9000+i))
+	}
+	return m, w, inputs
+}
+
+// TestChipSingleCoreParity pins the tentpole's safety contract at the API
+// level: a 1-core chip is byte-identical to RunModel — same output bits,
+// same cycles, same counters — under both placement policies.
+func TestChipSingleCoreParity(t *testing.T) {
+	m, w, inputs := chipTestModel(t, 1)
+	hw := MAERILike(64, 16)
+
+	want, mr, err := RunModel(m, w, inputs[0], hw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate the bare path's per-layer runs the way ChipRun.Total does.
+	ref := &Run{}
+	for _, r := range mr.Runs {
+		ref.Merge(r)
+	}
+
+	for _, placement := range []string{"layer", "batch"} {
+		outs, cr, err := RunModelChip(context.Background(), m, w, inputs, hw,
+			ChipOptions{Cores: 1, Placement: placement}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", placement, err)
+		}
+		if !reflect.DeepEqual(outs[0].Data(), want.Data()) {
+			t.Errorf("%s: 1-core chip output differs from RunModel", placement)
+		}
+		if cr.Total.Cycles != ref.Cycles {
+			t.Errorf("%s: chip cycles %d != bare %d", placement, cr.Total.Cycles, ref.Cycles)
+		}
+		if !reflect.DeepEqual(cr.Total.Counters, ref.Counters) {
+			t.Errorf("%s: chip counters differ from bare path", placement)
+		}
+		if _, icn := cr.Total.Counters[names.ICNRequests]; icn {
+			t.Errorf("%s: 1-core chip touched the interconnect — counter sets no longer match the bare kernel", placement)
+		}
+	}
+}
+
+// TestChipMultiCoreScaling checks the multi-core behaviours the tentpole
+// promises: outputs stay bit-identical to the single-core path, the
+// makespan beats serializing the same work on the busiest core, the
+// interconnect counters appear, and the ICN breakdown keeps the exact-sum
+// invariant.
+func TestChipMultiCoreScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip integration test")
+	}
+	m, w, inputs := chipTestModel(t, 3)
+	hw := MAERILike(64, 16)
+
+	refs := make([]*Tensor, len(inputs))
+	for i, in := range inputs {
+		out, _, err := RunModel(m, w, in, hw, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = out
+	}
+
+	for _, placement := range []string{"layer", "batch"} {
+		outs, cr, err := RunModelChip(context.Background(), m, w, inputs, hw,
+			ChipOptions{Cores: 2, Placement: placement}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", placement, err)
+		}
+		for i := range outs {
+			if !reflect.DeepEqual(outs[i].Data(), refs[i].Data()) {
+				t.Errorf("%s: stream %d output differs from single-core run", placement, i)
+			}
+		}
+		if cr.MakespanCycles == 0 || cr.MakespanCycles >= cr.Total.Cycles {
+			t.Errorf("%s: makespan %d does not overlap work (total %d)", placement, cr.MakespanCycles, cr.Total.Cycles)
+		}
+		if cr.Total.Counters[names.ICNRequests] == 0 {
+			t.Errorf("%s: no interconnect requests recorded on a 2-core chip", placement)
+		}
+		icn, ok := cr.Total.Breakdown[trace.TierICN]
+		if !ok {
+			t.Fatalf("%s: no ICN tier in the merged breakdown", placement)
+		}
+		if icn.Total() != cr.Total.Cycles {
+			t.Errorf("%s: ICN breakdown sums to %d, want exactly %d", placement, icn.Total(), cr.Total.Cycles)
+		}
+	}
+}
+
+// TestChipDeterminism pins bit-identical repeatability: two fresh N-core
+// chip runs of the same workload produce deeply equal aggregates and
+// outputs.
+func TestChipDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip integration test")
+	}
+	m, w, inputs := chipTestModel(t, 2)
+	hw := MAERILike(64, 16)
+	run := func() ([]*Tensor, *ChipRun) {
+		outs, cr, err := RunModelChip(context.Background(), m, w, inputs, hw,
+			ChipOptions{Cores: 2, Placement: "layer"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs, cr
+	}
+	out1, cr1 := run()
+	out2, cr2 := run()
+	if !reflect.DeepEqual(cr1, cr2) {
+		t.Error("repeated 2-core chip runs produced different aggregates")
+	}
+	for i := range out1 {
+		if !reflect.DeepEqual(out1[i].Data(), out2[i].Data()) {
+			t.Errorf("repeated chip runs differ on stream %d output", i)
+		}
+	}
+}

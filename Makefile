@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-json-smoke vet lint fmt-check trace-demo checksweep fuzz fuzz-smoke
+.PHONY: build test race bench bench-json bench-json-smoke vet lint fmt-check trace-demo checksweep fuzz fuzz-smoke load-test serve-smoke
 
 build:
 	$(GO) build ./...
@@ -28,8 +28,22 @@ test:
 # explicit timeout keeps slow CI runners from hitting go test's default
 # 10m panic mid-suite under the race detector's ~10x slowdown.
 race:
-	$(GO) test -race -timeout 20m ./internal/simpool/... ./stonne/... ./internal/trace/... ./internal/check/...
+	$(GO) test -race -timeout 20m ./internal/simpool/... ./stonne/... ./internal/trace/... ./internal/check/... ./internal/serve/...
 	$(GO) test -race -timeout 20m -run 'TestFig5SerialParallelEquivalence' ./internal/exp/
+
+# load-test drives an in-process stonned through the full HTTP stack with
+# 1000 concurrent clients cycling 8 repeat shapes. stonneload pre-warms each
+# shape, then asserts every measured response is byte-identical to the
+# pre-warmed result, the warm hit rate clears 99%, and prints req/s with
+# p50/p99 latency — the serving layer's acceptance harness.
+load-test:
+	$(GO) run ./cmd/stonneload -requests 5000 -concurrency 1000 -shapes 8
+
+# serve-smoke boots the real stonned binary, submits the same job twice,
+# asserts the repeat is served from the result cache byte-identically, and
+# checks SIGTERM drains to a clean exit 0.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x .

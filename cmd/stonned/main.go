@@ -1,0 +1,72 @@
+// Command stonned is the simulation-as-a-service daemon: a long-running
+// HTTP server that accepts simulation jobs as JSON, executes them on the
+// simulator with bounded concurrency, and memoizes results in a
+// content-addressed cache — repeated jobs replay byte-identical results
+// without re-running the kernel.
+//
+//	stonned -addr :9444 -workers 8 -queue 64 -cache-entries 4096
+//
+//	curl -s localhost:9444/jobs -d '{"op":"gemm","arch":"maeri","ms":64,"bw":16,"m":32,"n":32,"k":64,"seed":1}'
+//
+// Endpoints: POST /jobs, GET /stats, GET /archs, GET /progress,
+// GET /healthz. SIGINT/SIGTERM drain in-flight jobs and exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9444", "listen address")
+	workers := flag.Int("workers", 0, "concurrent simulation jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admitted jobs waiting for a worker beyond the executing ones (more get 429)")
+	cacheEntries := flag.Int("cache-entries", 0, "result cache bound (0 = default)")
+	batchWorkers := flag.Int("batch-workers", 1, "simpool fan-out inside one batched job")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace period for in-flight jobs")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		BatchWorkers: *batchWorkers,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "stonned: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "stonned: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "stonned: shutdown:", err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "stonned:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Command stonneload drives a stonned server with concurrent repeat-shape
+// job submissions and reports throughput, cache hit rate and latency
+// percentiles — the serving layer's load harness.
+//
+// With -addr it targets a running server; without, it starts an in-process
+// stonned on an ephemeral port so `make load-test` is self-contained while
+// still exercising the full HTTP stack.
+//
+//	stonneload -requests 5000 -concurrency 1000 -shapes 8
+//
+// Every shape is pre-warmed once, so the measured phase is all warm
+// traffic; the harness asserts each response is byte-identical to the
+// pre-warmed result (the content-addressed cache contract) and exits
+// non-zero when the hit rate or identity check fails.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target server base URL (empty = start an in-process server)")
+	requests := flag.Int("requests", 5000, "total measured requests")
+	concurrency := flag.Int("concurrency", 1000, "concurrent client goroutines")
+	shapes := flag.Int("shapes", 8, "distinct job shapes cycled through")
+	ms := flag.Int("ms", 64, "fabric size of the generated jobs")
+	workers := flag.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "in-process server queue depth")
+	minHitRate := flag.Float64("min-hit-rate", 0.99, "fail below this warm hit rate")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		srv := httptest.NewServer(serve.New(serve.Config{Workers: *workers, QueueDepth: *queue}).Handler())
+		defer srv.Close()
+		base = srv.URL
+		fmt.Fprintf(os.Stderr, "stonneload: in-process server at %s\n", base)
+	}
+	client := &http.Client{Timeout: 5 * time.Minute}
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: *concurrency}
+
+	// One body per shape: identical repeats are what the cache serves.
+	bodies := make([][]byte, *shapes)
+	for i := range bodies {
+		req := map[string]any{
+			"op": "gemm", "arch": "maeri", "ms": *ms, "bw": 16,
+			"m": 32, "n": 32, "k": 48 + i, "seed": 1,
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			fatal(err)
+		}
+		bodies[i] = b
+	}
+
+	// Pre-warm: one cold run per shape, keeping its result bytes as the
+	// byte-identity reference for the measured phase.
+	warmRef := make([][]byte, *shapes)
+	for i, b := range bodies {
+		env, err := post(client, base, b)
+		if err != nil {
+			fatal(fmt.Errorf("pre-warm shape %d: %w", i, err))
+		}
+		warmRef[i] = env.Result
+	}
+	fmt.Fprintf(os.Stderr, "stonneload: %d shapes pre-warmed\n", *shapes)
+
+	var (
+		hits, misses, mismatches, failures atomic.Uint64
+		next                               atomic.Int64
+		mu                                 sync.Mutex
+		latencies                          []time.Duration
+	)
+	began := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, *requests / *concurrency + 1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					break
+				}
+				shape := i % *shapes
+				t0 := time.Now()
+				env, err := post(client, base, bodies[shape])
+				local = append(local, time.Since(t0))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if env.Cached {
+					hits.Add(1)
+				} else {
+					misses.Add(1)
+				}
+				if !bytes.Equal(env.Result, warmRef[shape]) {
+					mismatches.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	total := hits.Load() + misses.Load() + failures.Load()
+	hitRate := float64(hits.Load()) / float64(max(1, hits.Load()+misses.Load()))
+	fmt.Printf("requests    : %d (%d concurrent clients, %d shapes)\n", total, *concurrency, *shapes)
+	fmt.Printf("duration    : %v (%.0f req/s)\n", elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("cache       : %d warm hits, %d cold runs (%.2f%% hit rate)\n", hits.Load(), misses.Load(), 100*hitRate)
+	fmt.Printf("latency     : p50 %v, p99 %v\n", pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Printf("byte-ident  : %d mismatches, %d failures\n", mismatches.Load(), failures.Load())
+
+	if st, err := getStats(client, base); err == nil {
+		fmt.Printf("server      : warm=%d coalesced=%d cold=%d rejected=%d cache_entries=%d\n",
+			st.WarmHits, st.Coalesced, st.ColdRuns, st.Rejected, st.Cache.Entries)
+	}
+
+	switch {
+	case failures.Load() > 0:
+		fatal(fmt.Errorf("%d requests failed", failures.Load()))
+	case mismatches.Load() > 0:
+		fatal(fmt.Errorf("%d responses were not byte-identical to the pre-warmed result", mismatches.Load()))
+	case hitRate < *minHitRate:
+		fatal(fmt.Errorf("hit rate %.4f below the required %.4f", hitRate, *minHitRate))
+	}
+}
+
+func post(client *http.Client, base string, body []byte) (*serve.Envelope, error) {
+	resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var env serve.Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, err
+	}
+	return &env, nil
+}
+
+func getStats(client *http.Client, base string) (*serve.Stats, error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stonneload:", err)
+	os.Exit(1)
+}

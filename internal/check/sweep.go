@@ -52,39 +52,51 @@ var sweepConvShapes = []tensor.ConvShape{
 // the all-zero stationary operand every scheduler must survive.
 var sweepSparsities = []float64{0, 0.5, 0.9, 1}
 
-// Sweep runs the full differential grid — every registered architecture ×
-// {GEMM, Conv, sparse} × the shape grids — and returns one result per case.
-// Cases are deterministic: the data seed derives from the case position.
-func Sweep() []SweepResult {
-	var out []SweepResult
+// SweepCases enumerates the full differential grid — every registered
+// architecture × {GEMM, Conv, sparse} × the shape grids — without running
+// anything. Cases are deterministic: the data seed derives from the case
+// position. Sweep executes them; the jobkey canonicalization tests reuse
+// the same list as a corpus of semantically distinct jobs.
+func SweepCases() []Case {
+	var out []Case
 	seed := uint64(0x5eed)
 	for _, arch := range sim.Names() {
 		ms, bw := 16, 16 // every preset accepts a 16-PE fabric
 		for _, s := range sweepGEMMShapes {
 			seed++
-			out = append(out, runSweepCase(Case{
+			out = append(out, Case{
 				Arch: arch, Op: OpGEMM, MS: ms, BW: bw,
 				M: s[0], N: s[1], K: s[2], Seed: seed,
-			}))
+			})
 		}
 		for _, cs := range sweepConvShapes {
 			seed++
 			if arch == "snapea" {
 				cs.N = 1 // SNAPEA models batch-1 inference only
 			}
-			out = append(out, runSweepCase(Case{
+			out = append(out, Case{
 				Arch: arch, Op: OpConv, MS: ms, BW: bw, CS: cs, Seed: seed,
-			}))
+			})
 		}
 		for _, sp := range sweepSparsities {
 			for _, pol := range []sched.Policy{sched.NS, sched.RDM, sched.LFF} {
 				seed++
-				out = append(out, runSweepCase(Case{
+				out = append(out, Case{
 					Arch: arch, Op: OpSparse, MS: ms, BW: bw,
 					M: 12, N: 9, K: 20, Sparsity: sp, Policy: pol, Seed: seed,
-				}))
+				})
 			}
 		}
+	}
+	return out
+}
+
+// Sweep runs the full differential grid and returns one result per case.
+func Sweep() []SweepResult {
+	cases := SweepCases()
+	out := make([]SweepResult, 0, len(cases))
+	for _, c := range cases {
+		out = append(out, runSweepCase(c))
 	}
 	return out
 }

@@ -15,6 +15,7 @@ package energy
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/comp/names"
 	"repro/internal/config"
@@ -103,15 +104,24 @@ func componentOf(counter string) string {
 }
 
 // Apply fills run.Energy with the per-component dynamic + static energy in
-// microjoules.
+// microjoules. Counters are accumulated in sorted-name order: float addition
+// is not associative, so summing in Go's randomized map order would make the
+// last bits of the totals differ from run to run (and between runs whose
+// counter sets differ only by uncosted bookkeeping entries), breaking the
+// bit-determinism the result cache keys on.
 func (t Table) Apply(run *stats.Run, hw *config.Hardware) {
+	counters := make([]string, 0, len(run.Counters))
+	for counter := range run.Counters {
+		counters = append(counters, counter)
+	}
+	sort.Strings(counters)
 	br := map[string]float64{}
-	for counter, count := range run.Counters {
+	for _, counter := range counters {
 		cost, ok := t.PerEvent[counter]
 		if !ok {
 			continue // uncosted bookkeeping counters (stalls, waits)
 		}
-		br[componentOf(counter)] += cost * float64(count)
+		br[componentOf(counter)] += cost * float64(run.Counters[counter])
 	}
 	// Static energy: charged to the component areas' owners.
 	cycles := float64(run.Cycles)

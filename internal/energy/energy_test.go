@@ -66,6 +66,48 @@ func TestApplyBreakdown(t *testing.T) {
 	}
 }
 
+// TestApplyDeterministic is the regression test for map-order float drift:
+// Apply used to accumulate per-component energy in Go's randomized map
+// iteration order, so the last bits of the totals varied between identical
+// runs — and between runs whose counter sets differ only by uncosted
+// bookkeeping entries — breaking the bit-determinism the serving layer's
+// result cache keys on. Many RN counters land in one component with
+// magnitudes picked so the sum is order-sensitive at the last bit.
+func TestApplyDeterministic(t *testing.T) {
+	hw := config.MAERILike(64, 16)
+	tab := DefaultTable()
+	counters := map[string]uint64{
+		"rn.adders_lrn":   1,
+		"rn.adders_3to1":  3,
+		"rn.adders_fan":   7919,
+		"rn.acc_accesses": 1000003,
+		"rn.outputs":      17,
+	}
+	base := &stats.Run{Cycles: 123, Counters: counters}
+	tab.Apply(base, &hw)
+	for i := 0; i < 100; i++ {
+		run := &stats.Run{Cycles: 123, Counters: map[string]uint64{}}
+		for k, v := range counters {
+			run.Counters[k] = v
+		}
+		if i%2 == 1 {
+			// Extra uncosted counters (what a progress-traced run carries)
+			// must not perturb the sum either.
+			run.Counters["trace.progress_events"] = uint64(i)
+			run.Counters["ctrl.dram_wait_cycles"] = 42
+		}
+		tab.Apply(run, &hw)
+		for comp, want := range base.Energy {
+			if got := run.Energy[comp]; got != want {
+				t.Fatalf("iteration %d: %s energy %v != %v (bit drift)", i, comp, got, want)
+			}
+		}
+		if len(run.Energy) != len(base.Energy) {
+			t.Fatalf("iteration %d: component sets diverged: %v vs %v", i, run.Energy, base.Energy)
+		}
+	}
+}
+
 func TestStaticEnergyScalesWithCycles(t *testing.T) {
 	hw := config.SIGMALike(128, 64)
 	tab := DefaultTable()

@@ -302,6 +302,7 @@ func (f *flexRun) run() error {
 		Ticks:     []sim.Tickable{f.dnet, f.marr, f.rnet},
 		Done:      f.done,
 		Progress:  func() int { return f.completed },
+		Waiting:   func() uint64 { return f.cDramWait.Value() },
 		Err:       func() error { return f.fatal },
 		Draining:  func() bool { return f.srcDone && f.cur == nil },
 		Deadlock:  f.deadlock,

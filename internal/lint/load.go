@@ -61,6 +61,10 @@ type Loader struct {
 	// rebuilds such intermediaries against the augmented variant, and so
 	// must we, or the two worlds disagree on the identity of its types.
 	testVariants map[string]map[string]*Package
+
+	// moduleDeps memoizes each module package's direct module-internal
+	// imports (non-test files), for the dependsOn reachability check.
+	moduleDeps map[string][]string
 }
 
 // NewLoader returns a loader rooted at the module directory dir.
@@ -80,6 +84,7 @@ func NewLoader(dir string) (*Loader, error) {
 		goVersion:    goVersion,
 		importCache:  make(map[string]*Package),
 		testVariants: make(map[string]map[string]*Package),
+		moduleDeps:   make(map[string][]string),
 	}
 	l.std = importer.ForCompiler(l.fset, "gc", l.lookupStd).(types.ImporterFrom)
 	return l, nil
@@ -328,11 +333,16 @@ func (l *Loader) loadImport(path string) (*Package, error) {
 }
 
 // loadImportFor resolves a module dependency while checking an external
-// test package: dependencies are rebuilt in the under-test world (so any
-// of them that transitively imports the package under test sees its
-// test-augmented variant, and all of them agree on type identity).
+// test package. Only dependencies that transitively import the package
+// under test are rebuilt in the under-test world (they must see its
+// test-augmented variant — lint_test → linttest → lint); everything else
+// resolves through the shared import cache. Rebuilding an unrelated
+// dependency would create a second *types.Package for it, and any of its
+// types appearing in the under-test package's API (checked against the
+// shared instance) would stop unifying — "cannot use config.Hardware as
+// config.Hardware" across the two worlds.
 func (l *Loader) loadImportFor(path string, underTest *Package) (*Package, error) {
-	if underTest == nil {
+	if underTest == nil || !l.dependsOn(path, underTest.Path, make(map[string]bool)) {
 		return l.loadImport(path)
 	}
 	cache := l.testVariants[underTest.Path]
@@ -349,6 +359,44 @@ func (l *Loader) loadImportFor(path string, underTest *Package) (*Package, error
 	}
 	cache[path] = p
 	return p, nil
+}
+
+// directImports returns path's direct module-internal imports as declared
+// by its non-test files (go/build owns file-name and constraint rules).
+func (l *Loader) directImports(path string) []string {
+	if deps, ok := l.moduleDeps[path]; ok {
+		return deps
+	}
+	rel := strings.TrimPrefix(path, l.Module)
+	dir := filepath.Join(l.Dir, filepath.FromSlash(strings.TrimPrefix(rel, "/")))
+	var deps []string
+	if bp, err := build.Default.ImportDir(dir, 0); err == nil {
+		for _, imp := range bp.Imports {
+			if imp == l.Module || strings.HasPrefix(imp, l.Module+"/") {
+				deps = append(deps, imp)
+			}
+		}
+	}
+	l.moduleDeps[path] = deps
+	return deps
+}
+
+// dependsOn reports whether module package path transitively imports
+// target through non-test imports (or is target itself).
+func (l *Loader) dependsOn(path, target string, seen map[string]bool) bool {
+	if path == target {
+		return true
+	}
+	if seen[path] {
+		return false
+	}
+	seen[path] = true
+	for _, dep := range l.directImports(path) {
+		if l.dependsOn(dep, target, seen) {
+			return true
+		}
+	}
+	return false
 }
 
 // checkImport type-checks the non-test file set of a module package with

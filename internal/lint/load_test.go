@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestLoadExternalTestSharedDepIdentity is the regression test for a type
+// identity bug in the loader: while checking an external test package, every
+// module dependency used to be rebuilt in the under-test world, giving
+// dependencies that do not import the package under test a second
+// *types.Package. A value built by such a dependency (helper.Make() below)
+// then failed to unify with the same type in the under-test package's API
+// ("cannot use shared.S as shared.S"). Only dependencies that transitively
+// import the package under test may be rebuilt.
+func TestLoadExternalTestSharedDepIdentity(t *testing.T) {
+	l, err := lint.NewLoader("testdata/identmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./pkg")
+	if err != nil {
+		t.Fatalf("external test package failed to type-check: %v", err)
+	}
+	var found bool
+	for _, p := range pkgs {
+		if p.Path == "identmod/pkg_test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("external test package not loaded; got %d packages", len(pkgs))
+	}
+}

@@ -1,0 +1,3 @@
+module identmod
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package helper does NOT import pkg, so it must resolve through the
+// shared import cache when pkg's external test is checked.
+package helper
+
+import "identmod/shared"
+
+func Make() shared.S { return shared.S{X: 1} }

@@ -1,0 +1,5 @@
+package pkg
+
+import "identmod/shared"
+
+func Use(s shared.S) int { return s.X }

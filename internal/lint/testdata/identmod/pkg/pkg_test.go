@@ -1,0 +1,11 @@
+package pkg_test
+
+import (
+	"identmod/helper"
+	"identmod/pkg"
+)
+
+// A shared.S built by helper (a dependency outside the under-test world)
+// flows into pkg's API (checked against the shared-cache shared package):
+// the two must be the same *types.Package or this fails to type-check.
+var _ = pkg.Use(helper.Make())

@@ -1,0 +1,5 @@
+// Package shared is a dependency of both the package under test and the
+// helper its external test imports — its type identity must be shared.
+package shared
+
+type S struct{ X int }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/comp"
 	"repro/internal/comp/names"
+	"repro/internal/config"
 )
 
 // TestSharedUncontendedMatchesPrivate pins the parity-critical shape of
@@ -17,7 +18,7 @@ func TestSharedUncontendedMatchesPrivate(t *testing.T) {
 		priv := NewDRAM(hw, comp.NewCounters())
 		want := priv.FetchCycles(n)
 
-		s := NewSharedDRAM(hw, 0, 0)
+		s := mustShared(t, hw, 0, 0)
 		start, completion := s.Serve(0, n)
 		if start != 0 {
 			t.Errorf("n=%d: idle system delayed the grant to %g", n, start)
@@ -36,7 +37,7 @@ func TestSharedContentionAndBanking(t *testing.T) {
 	hw := testHW()
 	const n = 100_000
 
-	banked := NewSharedDRAM(hw, 8, 0)
+	banked := mustShared(t, hw, 8, 0)
 	_, c1 := banked.Serve(0, n)
 	for i := 0; i < 7; i++ {
 		if s, _ := banked.Serve(0, n); s != 0 {
@@ -48,7 +49,7 @@ func TestSharedContentionAndBanking(t *testing.T) {
 		t.Errorf("overflow transfer started at %g, want the first bank to free at %g", s9, c1)
 	}
 
-	single := NewSharedDRAM(hw, 1, 0)
+	single := mustShared(t, hw, 1, 0)
 	_, c1s := single.Serve(0, n)
 	s2s, _ := single.Serve(0, n)
 	if s2s != c1s {
@@ -60,10 +61,10 @@ func TestSharedContentionAndBanking(t *testing.T) {
 // lengthens the stream component of every transfer.
 func TestSharedLinkBandwidthKnob(t *testing.T) {
 	hw := testHW()
-	full := NewSharedDRAM(hw, 1, 0)
+	full := mustShared(t, hw, 1, 0)
 	_, cFull := full.Serve(0, 1<<16)
 	halfGBs := hw.DRAM.BandwidthGBs * float64(hw.DRAM.Modules) / 2
-	half := NewSharedDRAM(hw, 1, halfGBs)
+	half := mustShared(t, hw, 1, halfGBs)
 	_, cHalf := half.Serve(0, 1<<16)
 	if cHalf <= cFull {
 		t.Errorf("half-bandwidth link not slower: %g vs %g", cHalf, cFull)
@@ -81,7 +82,7 @@ func TestCorePortMirrorsPrivateCounters(t *testing.T) {
 	priv := NewDRAM(hw, pc)
 	wantDur := priv.FetchCycles(n)
 
-	s := NewSharedDRAM(hw, 0, 0)
+	s := mustShared(t, hw, 0, 0)
 	cc := comp.NewCounters()
 	port := NewCorePort(s, 0).Port(cc)
 	if got := port.FetchCycles(n); math.Abs(got-wantDur) > 1e-9 {
@@ -106,7 +107,7 @@ func TestCorePortMirrorsPrivateCounters(t *testing.T) {
 // already-issued prefetch's completion.
 func TestCorePortStallLookaheadExact(t *testing.T) {
 	hw := testHW()
-	s := NewSharedDRAM(hw, 0, 0)
+	s := mustShared(t, hw, 0, 0)
 	c0, c1 := comp.NewCounters(), comp.NewCounters()
 	p0 := NewCorePort(s, 0)
 	port0 := p0.Port(c0)
@@ -137,7 +138,7 @@ func TestCorePortStallLookaheadExact(t *testing.T) {
 // system a transfer queued behind another core's records its wait.
 func TestCorePortContentionCounters(t *testing.T) {
 	hw := testHW()
-	s := NewSharedDRAM(hw, 1, 0)
+	s := mustShared(t, hw, 1, 0)
 	c0, c1 := comp.NewCounters(), comp.NewCounters()
 	port0 := NewCorePort(s, 0).Port(c0)
 	port1 := NewCorePort(s, 1).Port(c1)
@@ -152,5 +153,111 @@ func TestCorePortContentionCounters(t *testing.T) {
 	}
 	if b := c1.Get(names.ICNBusyCycles); b == 0 {
 		t.Error("served prefetch recorded no icn.busy_cycles")
+	}
+}
+
+// mustShared builds a SharedDRAM from a configuration the test knows is
+// valid, failing the test on an unexpected construction error.
+func mustShared(t *testing.T, hw *config.Hardware, banks int, linkGBs float64) *SharedDRAM {
+	t.Helper()
+	s, err := NewSharedDRAM(hw, banks, linkGBs)
+	if err != nil {
+		t.Fatalf("NewSharedDRAM(%s, banks=%d, link=%g): %v", hw.Name, banks, linkGBs, err)
+	}
+	return s
+}
+
+// TestNewSharedDRAMRejectsDegenerateHardware pins the construction-time
+// validation: a zeroed (or partially zeroed) hardware description must be
+// rejected with a descriptive error instead of building a model that later
+// divides by zero or charges NaN/Inf cycle costs in Serve.
+func TestNewSharedDRAMRejectsDegenerateHardware(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*config.Hardware)
+	}{
+		{"zero value", func(h *config.Hardware) { *h = config.Hardware{} }},
+		{"zero clock", func(h *config.Hardware) { h.ClockGHz = 0 }},
+		{"negative clock", func(h *config.Hardware) { h.ClockGHz = -1 }},
+		{"zero bytes per element", func(h *config.Hardware) { h.BytesPerElement = 0 }},
+		{"row smaller than element", func(h *config.Hardware) { h.DRAM.RowBytes = 0 }},
+		{"negative row miss", func(h *config.Hardware) { h.DRAM.RowMissLatency = -1 }},
+		{"zero bandwidth", func(h *config.Hardware) { h.DRAM.BandwidthGBs = 0 }},
+		{"zero modules", func(h *config.Hardware) { h.DRAM.Modules = 0 }},
+		{"negative modules", func(h *config.Hardware) { h.DRAM.Modules = -2 }},
+	}
+	for _, tc := range cases {
+		hw := testHW()
+		tc.mutate(hw)
+		if s, err := NewSharedDRAM(hw, 0, 0); err == nil {
+			// Prove the rejected configuration would have been poisonous:
+			// serve one transfer and look for the NaN/Inf it would yield.
+			_, completion := s.Serve(0, 100)
+			t.Errorf("%s: NewSharedDRAM accepted the configuration (a transfer completes at %g)",
+				tc.name, completion)
+		}
+	}
+
+	// An explicit link override sidesteps the configured bandwidth, so a
+	// zero-bandwidth DRAM block with a positive override is still valid.
+	hw := testHW()
+	hw.DRAM.BandwidthGBs = 0
+	if _, err := NewSharedDRAM(hw, 0, 64); err != nil {
+		t.Errorf("explicit link override rejected: %v", err)
+	}
+}
+
+// TestCorePortRoundingCarriesRemainders pins the icn.* accounting fix: the
+// counted busy+wait cycles must never drift above the true completion-issue
+// chip-time interval, no matter how many fractional-duration transfers a
+// port issues. The old independent round-half-up could overshoot by up to
+// one cycle per transfer.
+func TestCorePortRoundingCarriesRemainders(t *testing.T) {
+	// Pick rates that make every transfer duration end in .5: 8 elems/cycle
+	// at 1 B/elem and 1 GHz is 8 GB/s; 4 elements stream in 0.5 cycles and
+	// the single row activation adds 10·0.1 = 1.0, so each uncontended
+	// transfer truly costs 1.5 cycles.
+	hw := testHW()
+	hw.ClockGHz = 1
+	hw.BytesPerElement = 1
+	hw.DRAM.RowBytes = 2048
+	hw.DRAM.RowMissLatency = 10
+	s := mustShared(t, hw, 1, 8.0/1e0*1) // 8 B/s·1e9 → 8 elems/cycle
+	c0 := comp.NewCounters()
+	p0 := NewCorePort(s, 0)
+	port0 := p0.Port(c0)
+
+	const transfers = 1000
+	for i := 0; i < transfers; i++ {
+		port0.FetchCycles(4)
+	}
+	trueSpan := p0.busyAcc + p0.waitAcc // busy+wait == completion-issue per transfer
+	got := c0.Get(names.ICNBusyCycles) + c0.Get(names.ICNWaitCycles)
+	if float64(got) > math.Ceil(trueSpan) {
+		t.Errorf("counted busy+wait %d cycles, exceeds ceil of the true %g-cycle span", got, trueSpan)
+	}
+	if float64(got) < trueSpan-2 {
+		t.Errorf("counted busy+wait %d cycles, lost more than the carried remainder of the true %g", got, trueSpan)
+	}
+	// The old rounding emitted 2 cycles per 1.5-cycle transfer; the carried
+	// remainder must keep the total at the floor of the running sum.
+	if want := uint64(trueSpan); got != want {
+		t.Errorf("counted busy+wait = %d, want exactly floor(true span) = %d", got, want)
+	}
+
+	// Contended flavour: a second port queues behind the first on the one
+	// bank, splitting each span into fractional busy and wait parts that
+	// round independently in the broken scheme.
+	c1 := comp.NewCounters()
+	p1 := NewCorePort(s, 1)
+	port1 := p1.Port(c1)
+	for i := 0; i < transfers; i++ {
+		port0.FetchCycles(4)
+		port1.FetchCycles(4)
+	}
+	span1 := p1.busyAcc + p1.waitAcc
+	got1 := c1.Get(names.ICNBusyCycles) + c1.Get(names.ICNWaitCycles)
+	if float64(got1) > math.Ceil(span1) {
+		t.Errorf("contended port counted %d busy+wait cycles, exceeds ceil of the true %g", got1, span1)
 	}
 }

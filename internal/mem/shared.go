@@ -50,13 +50,31 @@ type SharedDRAM struct {
 // NewSharedDRAM builds the shared memory system from the chip's DRAM
 // parameters. banks <= 0 uses DefaultBanks; linkGBs <= 0 derives the link
 // bandwidth from the configuration's modules, matching what a private
-// DRAM would deliver.
-func NewSharedDRAM(h *config.Hardware, banks int, linkGBs float64) *SharedDRAM {
+// DRAM would deliver. The derived per-cycle rates divide by several
+// hardware fields, so a zero or negative field is rejected here with a
+// descriptive error instead of silently yielding NaN/Inf cycle costs (or
+// a divide-by-zero panic) deep inside Serve.
+func NewSharedDRAM(h *config.Hardware, banks int, linkGBs float64) (*SharedDRAM, error) {
 	if banks <= 0 {
 		banks = DefaultBanks
 	}
+	switch {
+	case !(h.ClockGHz > 0): // also catches NaN
+		return nil, fmt.Errorf("mem: shared DRAM needs ClockGHz > 0, got %g", h.ClockGHz)
+	case h.BytesPerElement <= 0:
+		return nil, fmt.Errorf("mem: shared DRAM needs BytesPerElement > 0, got %d", h.BytesPerElement)
+	case h.DRAM.RowBytes < h.BytesPerElement:
+		return nil, fmt.Errorf("mem: shared DRAM needs DRAM.RowBytes >= BytesPerElement, got %d < %d",
+			h.DRAM.RowBytes, h.BytesPerElement)
+	case h.DRAM.RowMissLatency < 0:
+		return nil, fmt.Errorf("mem: shared DRAM needs DRAM.RowMissLatency >= 0, got %d", h.DRAM.RowMissLatency)
+	}
 	if linkGBs <= 0 {
 		linkGBs = h.DRAM.BandwidthGBs * float64(h.DRAM.Modules)
+	}
+	if !(linkGBs > 0) {
+		return nil, fmt.Errorf("mem: shared DRAM link bandwidth must be positive, got %g GB/s (BandwidthGBs=%g Modules=%d)",
+			linkGBs, h.DRAM.BandwidthGBs, h.DRAM.Modules)
 	}
 	bytesPerCycle := linkGBs * 1e9 / (h.ClockGHz * 1e9)
 	return &SharedDRAM{
@@ -64,7 +82,7 @@ func NewSharedDRAM(h *config.Hardware, banks int, linkGBs float64) *SharedDRAM {
 		rowElems:      h.DRAM.RowBytes / h.BytesPerElement,
 		rowMiss:       h.DRAM.RowMissLatency,
 		bankFree:      make([]float64, banks),
-	}
+	}, nil
 }
 
 // Banks returns the configured bank count.
@@ -114,6 +132,15 @@ type CorePort struct {
 	base          float64 // chip cycle of the current op's cycle zero
 	selfReady     float64 // chip cycle the core's last transfer completes
 	prefetchReady float64 // op-local cycle the in-flight prefetch completes
+
+	// Cumulative true busy/wait chip time and the integer cycles already
+	// emitted to the icn.* counters. Each transfer emits floor(cum)-emitted,
+	// carrying the fractional remainder to the next one (the same scheme the
+	// trace tiers use), so the counted busy+wait can never drift above the
+	// true completion-issue span the way independent per-transfer rounding
+	// did.
+	busyAcc, waitAcc         float64
+	busyEmitted, waitEmitted uint64
 
 	cReads, cRowActs, cStallEvents, cWrites comp.Counter
 	cICNReq, cICNBusy, cICNWait             comp.Counter
@@ -170,8 +197,16 @@ func (p *CorePort) transfer(issue float64, n int) float64 {
 	p.cReads.Add(uint64(n))
 	p.cRowActs.Add(uint64(p.shared.rowsFor(n)))
 	p.cICNReq.Add(1)
-	p.cICNBusy.Add(uint64(completion - start + 0.5))
-	p.cICNWait.Add(uint64(start - issue + 0.5))
+	p.busyAcc += completion - start
+	p.waitAcc += start - issue
+	if d := uint64(p.busyAcc) - p.busyEmitted; d > 0 {
+		p.cICNBusy.Add(d)
+		p.busyEmitted += d
+	}
+	if d := uint64(p.waitAcc) - p.waitEmitted; d > 0 {
+		p.cICNWait.Add(d)
+		p.waitEmitted += d
+	}
 	return completion
 }
 

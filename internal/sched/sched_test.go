@@ -89,8 +89,21 @@ func TestZeroFiltersSkipped(t *testing.T) {
 	}
 }
 
-func TestLFFNeverWorseProperty(t *testing.T) {
-	f := func(seed int64) bool {
+// TestLFFBetterOnAverageProperty pins what the paper actually claims for
+// LFF: an average improvement, not a per-instance guarantee. Largest-first
+// greedy packing is subject to the classic first-fit-decreasing anomaly —
+// nnz [14 6 43 10 17 9 26] at capacity 64 packs in 2 rounds sequentially
+// but 3 rounds largest-first — so the old "LFF never worse than NS"
+// property was false, and because testing/quick's nil Rand is time-seeded
+// it made the suite flaky: a counterexample surfaced roughly once per
+// thousand runs. The instances are now a fixed deterministic corpus, each
+// pinned to the sound per-instance bounds (a round count between the
+// capacity lower bound and the 2·lb+1 greedy guarantee), with the paper's
+// claim asserted in aggregate across the corpus.
+func TestLFFBetterOnAverageProperty(t *testing.T) {
+	const capacity = 64
+	var nsTotal, lffTotal int
+	for seed := int64(0); seed < 300; seed++ {
 		s := uint64(seed)*2654435761 + 3
 		next := func(m int) int {
 			s ^= s << 13
@@ -98,17 +111,29 @@ func TestLFFNeverWorseProperty(t *testing.T) {
 			s ^= s << 17
 			return int(s % uint64(m))
 		}
-		const capacity = 64
 		nnz := make([]int, 5+next(20))
+		total := 0
 		for i := range nnz {
 			nnz[i] = 1 + next(capacity)
+			total += nnz[i]
 		}
+		lb := (total + capacity - 1) / capacity
 		ns := Pack(nnz, capacity, NS, 0)
 		lff := Pack(nnz, capacity, LFF, 0)
-		return len(lff) <= len(ns)
+		for _, got := range []struct {
+			pol    string
+			rounds int
+		}{{"NS", len(ns)}, {"LFF", len(lff)}} {
+			if got.rounds < lb || got.rounds > 2*lb+1 {
+				t.Errorf("seed %d: %s rounds %d outside [lb, 2·lb+1] = [%d, %d] (nnz %v)",
+					seed, got.pol, got.rounds, lb, 2*lb+1, nnz)
+			}
+		}
+		nsTotal += len(ns)
+		lffTotal += len(lff)
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
-		t.Error(err)
+	if lffTotal > nsTotal {
+		t.Errorf("LFF used %d rounds across the corpus vs NS's %d — no aggregate gain", lffTotal, nsTotal)
 	}
 }
 

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/jobkey"
+)
+
+// Cache is the bounded, concurrency-safe content-addressed result store:
+// marshaled result bodies keyed by jobkey.Key, evicted least-recently-used
+// once the entry bound is reached. Because every simulation is a pure
+// function of its key material (bit-determinism is pinned by the parity
+// and differential suites), a hit can replay the stored bytes verbatim —
+// the response is byte-identical to recomputing.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[jobkey.Key]*list.Element
+
+	hits, misses, evictions uint64
+	bytes                   int64
+}
+
+// cacheEntry is one stored result body.
+type cacheEntry struct {
+	key  jobkey.Key
+	body []byte
+}
+
+// DefaultCacheEntries bounds the store when the configuration does not.
+const DefaultCacheEntries = 4096
+
+// NewCache builds an empty store holding at most entries results;
+// entries <= 0 selects DefaultCacheEntries.
+func NewCache(entries int) *Cache {
+	if entries <= 0 {
+		entries = DefaultCacheEntries
+	}
+	return &Cache{
+		cap:   entries,
+		ll:    list.New(),
+		byKey: make(map[jobkey.Key]*list.Element, entries),
+	}
+}
+
+// Get returns the stored result body for k, marking it most recently used.
+// The returned slice is the cached backing array: callers must treat it as
+// immutable (the server only ever writes it to a response).
+func (c *Cache) Get(k jobkey.Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores the result body for k, evicting the least-recently-used entry
+// when the store is full. Storing an existing key refreshes its recency but
+// keeps the original body — content addressing guarantees they are equal.
+func (c *Cache) Put(k jobkey.Key, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.byKey, ent.key)
+		c.bytes -= int64(len(ent.body))
+		c.evictions++
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, body: body})
+	c.bytes += int64(len(body))
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is the store's observable state for the /stats endpoint.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.cap,
+		Bytes:     c.bytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/jobkey"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes the eviction victim
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing right after insertion")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Capacity != 2 {
+		t.Errorf("stats after eviction: %+v", st)
+	}
+}
+
+func TestCacheDuplicatePutKeepsOriginal(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", []byte("first"))
+	c.Put("k", []byte("second"))
+	body, ok := c.Get("k")
+	if !ok || string(body) != "first" {
+		t.Errorf("duplicate Put replaced the original body: %q", body)
+	}
+	if st := c.Stats(); st.Bytes != int64(len("first")) {
+		t.Errorf("byte accounting drifted: %d", st.Bytes)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := jobkey.Key(fmt.Sprintf("key-%d", (g+i)%24))
+				if body, ok := c.Get(k); ok {
+					if string(body) != string(k) {
+						t.Errorf("corrupted body for %s: %q", k, body)
+					}
+				} else {
+					c.Put(k, []byte(k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 32 {
+		t.Errorf("cache exceeded its bound: %d entries", n)
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Errorf("counters did not move: %+v", st)
+	}
+}

@@ -1,0 +1,404 @@
+// Package serve is the simulation-as-a-service layer: a long-running HTTP
+// server that accepts simulation jobs, fans them out over the simpool
+// runtime, and memoizes results in a bounded content-addressed cache.
+// Because every simulation here is bit-deterministic (pinned by the parity
+// and differential suites), a cache hit replays the stored result bytes —
+// byte-identical to re-running the kernel, at zero simulation cost.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/jobkey"
+	"repro/internal/sim"
+	"repro/internal/simpool"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Workers bounds the jobs simulating concurrently; <= 0 uses
+	// simpool's default (GOMAXPROCS).
+	Workers int
+	// QueueDepth is how many admitted jobs may wait for a worker beyond
+	// the ones executing; further submissions get 429. <0 means 0.
+	QueueDepth int
+	// CacheEntries bounds the result cache; <= 0 uses DefaultCacheEntries.
+	CacheEntries int
+	// BatchWorkers bounds the simpool fan-out inside one batched job;
+	// <= 0 runs each batch serially (1), keeping the worker bound global.
+	BatchWorkers int
+}
+
+// flight is one in-progress execution that identical concurrent requests
+// coalesce onto: they wait for done and share the marshaled result.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Server handles simulation jobs over HTTP. Create with New, mount via
+// Handler.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	admit chan struct{} // admission tokens: executing + queued
+	exec  chan struct{} // execution tokens: actively simulating
+	board *simpool.Board
+	start time.Time
+
+	mu       sync.Mutex
+	inflight map[jobkey.Key]*flight
+
+	warmHits  uint64 // served from cache
+	coalesced uint64 // joined an identical in-flight job
+	coldRuns  uint64 // executed the simulator
+	rejected  uint64 // 429: queue full
+	failed    uint64 // jobs that errored or were cancelled
+
+	warmLat, coldLat *latencyRing
+
+	// run executes a resolved job; tests substitute it to exercise
+	// admission and coalescing without simulating.
+	run func(ctx context.Context, j *job, progress progressFn) (*Result, error)
+}
+
+// New builds a server.
+func New(cfg Config) *Server {
+	workers := simpool.Workers(cfg.Workers, 1<<30)
+	queue := cfg.QueueDepth
+	if queue < 0 {
+		queue = 0
+	}
+	batchWorkers := cfg.BatchWorkers
+	if batchWorkers <= 0 {
+		batchWorkers = 1
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries),
+		admit:    make(chan struct{}, workers+queue),
+		exec:     make(chan struct{}, workers),
+		board:    simpool.NewBoard(),
+		start:    time.Now(),
+		inflight: make(map[jobkey.Key]*flight),
+		warmLat:  newLatencyRing(4096),
+		coldLat:  newLatencyRing(4096),
+	}
+	s.run = func(ctx context.Context, j *job, progress progressFn) (*Result, error) {
+		return execute(ctx, j, batchWorkers, progress)
+	}
+	return s
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/archs", s.handleArchs)
+	mux.HandleFunc("/progress", s.handleProgress)
+	return mux
+}
+
+// Envelope is the POST /jobs response: whether the result came from the
+// cache, the job's content address, and the raw result bytes (replayed
+// verbatim on a hit, so repeated jobs are byte-identical).
+type Envelope struct {
+	Cached bool            `json:"cached"`
+	Key    jobkey.Key      `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"POST a job description"})
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	j, err := resolve(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	began := time.Now()
+
+	// Warm path: replay the cached bytes, no admission needed.
+	if body, ok := s.cache.Get(j.key); ok {
+		s.mu.Lock()
+		s.warmHits++
+		s.mu.Unlock()
+		s.warmLat.add(time.Since(began))
+		writeJSON(w, http.StatusOK, Envelope{Cached: true, Key: j.key, Result: body})
+		return
+	}
+
+	// Admission: bounded queue, shed load beyond it.
+	select {
+	case s.admit <- struct{}{}:
+		defer func() { <-s.admit }()
+	default:
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{"queue full"})
+		return
+	}
+
+	// Coalescing: identical jobs racing past the cache share one run.
+	s.mu.Lock()
+	if f, ok := s.inflight[j.key]; ok {
+		s.coalesced++
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			return
+		}
+		if f.err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody{f.err.Error()})
+			return
+		}
+		s.warmLat.add(time.Since(began))
+		writeJSON(w, http.StatusOK, Envelope{Cached: true, Key: j.key, Result: f.body})
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[j.key] = f
+	s.mu.Unlock()
+
+	body, err := s.execJob(r.Context(), j, w)
+	f.body, f.err = body, err
+	s.mu.Lock()
+	delete(s.inflight, j.key)
+	s.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		s.mu.Lock()
+		s.failed++
+		s.mu.Unlock()
+		if j.req.Progress {
+			// Progress lines may already be on the wire: the status is
+			// committed, so the error goes out as a final NDJSON line.
+			_ = json.NewEncoder(w).Encode(struct {
+				Type  string `json:"type"`
+				Error string `json:"error"`
+			}{"error", err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+		return
+	}
+	s.cache.Put(j.key, body)
+	s.mu.Lock()
+	s.coldRuns++
+	s.mu.Unlock()
+	s.coldLat.add(time.Since(began))
+	if j.req.Progress {
+		_ = json.NewEncoder(w).Encode(struct {
+			Type string `json:"type"`
+			Envelope
+		}{"result", Envelope{Cached: false, Key: j.key, Result: body}})
+		return
+	}
+	writeJSON(w, http.StatusOK, Envelope{Cached: false, Key: j.key, Result: body})
+}
+
+// execJob takes an execution slot, runs the job, and returns the
+// canonical marshaled result bytes. When the request asked for progress,
+// samples stream to the response as NDJSON lines before the final
+// envelope (written by the caller).
+func (s *Server) execJob(ctx context.Context, j *job, w http.ResponseWriter) ([]byte, error) {
+	select {
+	case s.exec <- struct{}{}:
+		defer func() { <-s.exec }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	var progress progressFn
+	if j.req.Progress {
+		progress = s.streamProgress(w)
+	}
+	res, err := s.run(ctx, j, progress)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// progressLine is one NDJSON progress sample.
+type progressLine struct {
+	Type      string  `json:"type"`
+	Label     string  `json:"label"`
+	Cycles    uint64  `json:"cycles"`
+	Outputs   int     `json:"outputs"`
+	Occupancy float64 `json:"occupancy"`
+	Skipped   uint64  `json:"skipped,omitempty"`
+}
+
+// streamProgress returns a progressFn that mirrors samples onto the shared
+// board (for GET /progress) and streams them to this response, throttled
+// to one line per label per 100ms so a fast simulation cannot flood the
+// connection.
+func (s *Server) streamProgress(w http.ResponseWriter) progressFn {
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	var mu sync.Mutex
+	last := make(map[string]time.Time)
+	enc := json.NewEncoder(w)
+	return func(label string, cycles uint64, outputs int, occupancy float64, skipped uint64) {
+		s.board.Update(label, cycles, outputs, occupancy, skipped)
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		if now.Sub(last[label]) < 100*time.Millisecond {
+			return
+		}
+		last[label] = now
+		_ = enc.Encode(progressLine{
+			Type: "progress", Label: label, Cycles: cycles,
+			Outputs: outputs, Occupancy: occupancy, Skipped: skipped,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// Stats is the GET /stats payload.
+type Stats struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Workers       int        `json:"workers"`
+	QueueDepth    int        `json:"queue_depth"`
+	Inflight      int        `json:"inflight"`
+	WarmHits      uint64     `json:"warm_hits"`
+	Coalesced     uint64     `json:"coalesced"`
+	ColdRuns      uint64     `json:"cold_runs"`
+	Rejected      uint64     `json:"rejected"`
+	Failed        uint64     `json:"failed"`
+	Cache         CacheStats `json:"cache"`
+	WarmLatency   Latency    `json:"warm_latency"`
+	ColdLatency   Latency    `json:"cold_latency"`
+}
+
+// Snapshot returns the current service counters.
+func (s *Server) Snapshot() Stats {
+	s.mu.Lock()
+	st := Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       cap(s.exec),
+		QueueDepth:    cap(s.admit) - cap(s.exec),
+		Inflight:      len(s.inflight),
+		WarmHits:      s.warmHits,
+		Coalesced:     s.coalesced,
+		ColdRuns:      s.coldRuns,
+		Rejected:      s.rejected,
+		Failed:        s.failed,
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.Stats()
+	st.WarmLatency = s.warmLat.stats()
+	st.ColdLatency = s.coldLat.stats()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// archInfo is one /archs entry.
+type archInfo struct {
+	Name        string `json:"name"`
+	Title       string `json:"title"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	var out []archInfo
+	for _, a := range sim.List() {
+		out = append(out, archInfo{Name: a.Name, Title: a.Title, Description: a.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.board.Snapshot())
+}
+
+// Latency summarizes one class of request latencies.
+type Latency struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// latencyRing keeps the most recent size samples for percentile reporting.
+type latencyRing struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	count   uint64
+}
+
+func newLatencyRing(size int) *latencyRing {
+	return &latencyRing{samples: make([]time.Duration, 0, size)}
+}
+
+func (l *latencyRing) add(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) < cap(l.samples) {
+		l.samples = append(l.samples, d)
+	} else {
+		l.samples[l.next] = d
+	}
+	l.next = (l.next + 1) % cap(l.samples)
+	l.count++
+}
+
+func (l *latencyRing) stats() Latency {
+	l.mu.Lock()
+	sorted := make([]time.Duration, len(l.samples))
+	copy(sorted, l.samples)
+	count := l.count
+	l.mu.Unlock()
+	if len(sorted) == 0 {
+		return Latency{Count: count}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
+	}
+	return Latency{Count: count, P50Ms: pct(0.50), P99Ms: pct(0.99)}
+}

@@ -112,7 +112,11 @@ func NewChip(cfg ChipConfig, build func(core int, hw config.Hardware) (Runner, e
 	}
 	c := &Chip{cfg: cfg}
 	if len(cfg.Cores) > 1 {
-		c.shared = mem.NewSharedDRAM(&cfg.Cores[0], cfg.Banks, cfg.LinkGBs)
+		shared, err := mem.NewSharedDRAM(&cfg.Cores[0], cfg.Banks, cfg.LinkGBs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: chip shared memory: %w", err)
+		}
+		c.shared = shared
 		c.ports = make([]*mem.CorePort, len(cfg.Cores))
 	}
 	c.runners = make([]Runner, len(cfg.Cores))
@@ -203,7 +207,9 @@ func (c *Chip) Run(ctx context.Context, w Workload) (*stats.ChipRun, error) {
 				attachICN(r)
 			}
 			cycles += r.Cycles
-			res.Add(core, r)
+			if err := res.Add(core, r); err != nil {
+				return nil, fmt.Errorf("sim: chip stream %d stage %d: %w", b, s, err)
+			}
 		}
 		end := pickStart + float64(cycles)
 		coreFree[core] = end

@@ -105,7 +105,10 @@ func TestKernelWatchdogIdenticalAcrossSkip(t *testing.T) {
 			Lookahead: func() uint64 { return Unbounded },
 			Advance:   func(uint64) {},
 		}
-		return ctx.Cycles, k.Run()
+		// Run first, then read the counter: a multi-value return would
+		// evaluate ctx.Cycles before Run executes and always yield 0.
+		err := k.Run()
+		return ctx.Cycles, err
 	}
 	tickedCycles, tickedErr := run(true)
 	ffCycles, ffErr := run(false)
@@ -117,6 +120,53 @@ func TestKernelWatchdogIdenticalAcrossSkip(t *testing.T) {
 	}
 	if tickedCycles != ffCycles {
 		t.Errorf("watchdog abort cycle diverged: ticked %d, fast-forward %d", tickedCycles, ffCycles)
+	}
+}
+
+// A certified wait longer than the deadlock window — the shape of a core
+// whose first prefetch queues behind another core's whole stage in the
+// shared banks — must complete under both the ticked and fast-forwarded
+// loops, landing on the same cycle. Waiting advances once per stalled cycle
+// (via Control when ticking, via Advance when skipping), exactly how the
+// dense controller's dram-wait counter behaves.
+func TestKernelWaitingIdenticalAcrossSkip(t *testing.T) {
+	target := 2*uint64(DeadlockWindow) + 12345
+	run := func(disable bool) (uint64, error) {
+		hw := config.MAERILike(16, 8)
+		hw.Preloaded = true
+		hw.DisableFastForward = disable
+		ctx := NewCtx(&hw)
+		wait := uint64(0)
+		k := &Kernel{
+			Ctx:      ctx,
+			Control:  func() { wait++ },
+			Ticks:    []Tickable{&ffTick{}},
+			Done:     func() bool { return ctx.Cycles >= target },
+			Progress: func() int { return 0 },
+			Waiting:  func() uint64 { return wait },
+			Err:      func() error { return nil },
+			Lookahead: func() uint64 {
+				if ctx.Cycles >= target {
+					return 0
+				}
+				return target - ctx.Cycles
+			},
+			Advance: func(n uint64) { wait += n },
+		}
+		err := k.Run()
+		return ctx.Cycles, err
+	}
+	tickedCycles, tickedErr := run(true)
+	ffCycles, ffErr := run(false)
+	if tickedErr != nil {
+		t.Fatalf("ticked loop aborted a certified wait: %v", tickedErr)
+	}
+	if ffErr != nil {
+		t.Fatalf("fast-forward aborted a certified wait: %v", ffErr)
+	}
+	if tickedCycles != target || ffCycles != target {
+		t.Errorf("completion cycle diverged: ticked %d, fast-forward %d, want %d",
+			tickedCycles, ffCycles, target)
 	}
 }
 

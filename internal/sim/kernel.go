@@ -17,6 +17,16 @@ import "fmt"
 //   - Done reports run completion; the loop exits without a final tick.
 //   - Progress returns a value that changes whenever the run moved forward
 //     (completed outputs); the watchdog resets on change.
+//   - Waiting optionally returns a value that changes while the run is
+//     stalled on a certified external event — a granted DRAM transfer whose
+//     completion time was fixed when the bank accepted it. Such a stall is
+//     forward motion toward a bounded future event, not a deadlock, so the
+//     watchdog also resets on change. On a multi-core chip a core's first
+//     prefetch can legitimately queue behind another core's entire stage in
+//     the shared banks, stalling far longer than DeadlockWindow; without
+//     this signal the watchdog would abort that run. A true deadlock keeps
+//     both Progress and Waiting frozen. Nil means the controller has no
+//     such states.
 //   - Err surfaces a fatal error; it is checked after Control and again
 //     after the fabric ticks, so an error raised mid-cycle by a Tickable
 //     aborts the same cycle instead of leaking into the next (or being
@@ -37,6 +47,7 @@ type Kernel struct {
 	Ticks    []Tickable
 	Done     func() bool
 	Progress func() int
+	Waiting  func() uint64
 	Err      func() error
 	Draining func() bool
 	Deadlock func(window uint64) error
@@ -63,6 +74,10 @@ type Kernel struct {
 func (k *Kernel) Run() error {
 	lastProgress := k.Ctx.Cycles
 	lastState := -1
+	var lastWait uint64
+	if k.Waiting != nil {
+		lastWait = k.Waiting() // a pre-existing wait count is not progress
+	}
 	rec := k.Ctx.Rec
 	// Fast-forward participation is decided once per run: the controller
 	// must expose the capability, every fabric component must implement it,
@@ -104,6 +119,16 @@ func (k *Kernel) Run() error {
 					lastState = state
 					lastProgress = before + 1
 				}
+				// A certified-wait skip IS watchdog progress: in the stalled
+				// steady state every ticked cycle advances the wait counter,
+				// so the ticked loop's last reset lands on the final skipped
+				// cycle — pin exactly that.
+				if k.Waiting != nil {
+					if w := k.Waiting(); w != lastWait {
+						lastWait = w
+						lastProgress = k.Ctx.Cycles
+					}
+				}
 				if rec != nil {
 					rec.TickN(n, k.Draining != nil && k.Draining())
 					if rec.ProgressDue(k.Ctx.Cycles) {
@@ -135,6 +160,12 @@ func (k *Kernel) Run() error {
 		if state != lastState {
 			lastState = state
 			lastProgress = k.Ctx.Cycles
+		}
+		if k.Waiting != nil {
+			if w := k.Waiting(); w != lastWait {
+				lastWait = w
+				lastProgress = k.Ctx.Cycles
+			}
 		}
 		if rec != nil {
 			rec.Tick(k.Draining != nil && k.Draining())

@@ -149,6 +149,51 @@ func TestKernelWatchdogResetsOnProgress(t *testing.T) {
 	}
 }
 
+// TestKernelWaitingResetsWatchdog pins the certified-wait contract: a run
+// stalled on a fixed future event (Waiting advances every cycle, Progress
+// frozen) outlives the deadlock window, while a frozen Waiting value — even a
+// nonzero one present before the run — is not progress and still aborts.
+func TestKernelWaitingResetsOnWatchdog(t *testing.T) {
+	target := uint64(DeadlockWindow + DeadlockWindow/2)
+	wait := uint64(0)
+	ctx := testCtx()
+	k := &Kernel{
+		Ctx:      ctx,
+		Control:  func() { wait++ },
+		Done:     func() bool { return ctx.Cycles >= target },
+		Progress: func() int { return 0 }, // no outputs ever complete
+		Waiting:  func() uint64 { return wait },
+		Err:      func() error { return nil },
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("watchdog fired during an advancing certified wait: %v", err)
+	}
+	if ctx.Cycles != target {
+		t.Errorf("Cycles = %d, want %d", ctx.Cycles, target)
+	}
+
+	// Same shape with the wait value frozen at a nonzero initial reading:
+	// the watchdog must fire exactly as if the hook were absent.
+	ctx2 := testCtx()
+	k = &Kernel{
+		Ctx:      ctx2,
+		Control:  func() {},
+		Done:     func() bool { return false },
+		Progress: func() int { return 0 },
+		Waiting:  func() uint64 { return 42 },
+		Err:      func() error { return nil },
+	}
+	if err := k.Run(); err == nil || !strings.Contains(err.Error(), "no progress") {
+		t.Fatalf("frozen wait did not trip the watchdog: %v", err)
+	}
+	// The first cycle always registers once (the -1 progress sentinel), so
+	// the ticked watchdog aborts at window + 2 — the frozen wait value must
+	// not postpone that by a single cycle.
+	if ctx2.Cycles != DeadlockWindow+2 {
+		t.Errorf("frozen-wait abort at cycle %d, want %d", ctx2.Cycles, uint64(DeadlockWindow)+2)
+	}
+}
+
 func TestRegisterValidation(t *testing.T) {
 	expectPanic := func(name string, a Arch) {
 		t.Helper()

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"repro/internal/comp/names"
@@ -45,10 +46,23 @@ func NewChipRun(placement string, cores, banks, streams int) *ChipRun {
 	}
 }
 
-// Add merges one op's run into the core's and the chip's totals.
-func (c *ChipRun) Add(core int, r *Run) {
+// Add merges one op's run into the core's and the chip's totals. An
+// out-of-range core, a nil run, or a ChipRun that was not built by
+// NewChipRun (nil PerCore entries / Total) is reported as a descriptive
+// error instead of panicking deep inside aggregation.
+func (c *ChipRun) Add(core int, r *Run) error {
+	if r == nil {
+		return fmt.Errorf("stats: chip run: nil op run for core %d", core)
+	}
+	if core < 0 || core >= len(c.PerCore) {
+		return fmt.Errorf("stats: chip run: core %d out of range (chip has %d cores)", core, len(c.PerCore))
+	}
+	if c.PerCore[core] == nil || c.Total == nil {
+		return fmt.Errorf("stats: chip run: aggregate not initialised (use NewChipRun)")
+	}
 	c.PerCore[core].Merge(r)
 	c.Total.Merge(r)
+	return nil
 }
 
 // Throughput is inference streams completed per million chip cycles — the
@@ -62,8 +76,12 @@ func (c *ChipRun) Throughput() float64 {
 
 // ICNWaitCycles is the chip-wide contention delay: cycles transfers spent
 // queued behind other cores' traffic at the shared memory system. Zero on
-// 1-core chips, which never touch the interconnect.
+// 1-core chips, which never touch the interconnect, and on a zero-value
+// ChipRun (nil Total or a Total whose counter map was never allocated).
 func (c *ChipRun) ICNWaitCycles() uint64 {
+	if c == nil || c.Total == nil {
+		return 0
+	}
 	return c.Total.Counters[names.ICNWaitCycles]
 }
 

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/comp/names"
+)
+
+// TestChipRunAddGuards pins the aggregation hardening: an out-of-range
+// core, a nil run, or an uninitialised aggregate must come back as a
+// descriptive error instead of an index/nil-map panic.
+func TestChipRunAddGuards(t *testing.T) {
+	cr := NewChipRun("layer", 2, 8, 4)
+	run := &Run{Cycles: 10, Counters: map[string]uint64{names.ICNWaitCycles: 3}}
+
+	if err := cr.Add(0, run); err != nil {
+		t.Fatalf("in-range Add: %v", err)
+	}
+	if cr.Total.Cycles != 10 || cr.PerCore[0].Cycles != 10 {
+		t.Fatalf("merge lost cycles: total=%d core0=%d", cr.Total.Cycles, cr.PerCore[0].Cycles)
+	}
+
+	for _, core := range []int{-1, 2, 100} {
+		err := cr.Add(core, run)
+		if err == nil {
+			t.Errorf("Add(core=%d) accepted an out-of-range core", core)
+			continue
+		}
+		if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("Add(core=%d) error %q does not name the problem", core, err)
+		}
+	}
+
+	if err := cr.Add(0, nil); err == nil {
+		t.Error("Add(nil run) did not error")
+	}
+
+	// A zero-value ChipRun (not built by NewChipRun) has no cores at all:
+	// Add must refuse rather than panic, and the JSON writer path that the
+	// CLI drives stays usable.
+	var zero ChipRun
+	if err := zero.Add(0, run); err == nil {
+		t.Error("zero-value ChipRun accepted an Add")
+	}
+
+	// Partially initialised aggregates (nil slot / nil Total) are the other
+	// panic shapes the guard covers.
+	broken := NewChipRun("layer", 1, 8, 1)
+	broken.PerCore[0] = nil
+	if err := broken.Add(0, run); err == nil {
+		t.Error("nil PerCore slot accepted an Add")
+	}
+	broken = NewChipRun("layer", 1, 8, 1)
+	broken.Total = nil
+	if err := broken.Add(0, run); err == nil {
+		t.Error("nil Total accepted an Add")
+	}
+}
+
+// TestChipRunICNWaitCyclesZeroValues pins the nil-safety of the contention
+// accessor: a zero-value ChipRun, a nil receiver, and a Total with no
+// counter map all read as zero wait.
+func TestChipRunICNWaitCyclesZeroValues(t *testing.T) {
+	var zero ChipRun
+	if got := zero.ICNWaitCycles(); got != 0 {
+		t.Errorf("zero-value ChipRun reports %d wait cycles", got)
+	}
+	var nilRun *ChipRun
+	if got := nilRun.ICNWaitCycles(); got != 0 {
+		t.Errorf("nil ChipRun reports %d wait cycles", got)
+	}
+	cr := NewChipRun("batch", 1, 8, 1)
+	if got := cr.ICNWaitCycles(); got != 0 { // fresh Total: nil Counters map
+		t.Errorf("fresh ChipRun reports %d wait cycles", got)
+	}
+	if err := cr.Add(0, &Run{Counters: map[string]uint64{names.ICNWaitCycles: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.ICNWaitCycles(); got != 7 {
+		t.Errorf("merged wait cycles = %d, want 7", got)
+	}
+}

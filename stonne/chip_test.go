@@ -115,6 +115,41 @@ func TestChipMultiCoreScaling(t *testing.T) {
 	}
 }
 
+// TestChipPreloadedMultiCore is the regression test for the watchdog abort
+// on preloaded multi-core chips: with Preloaded set there is no initial-fill
+// transfer to absorb the shared-bank backlog, so a core's first prefetch can
+// stall behind another core's entire stage for longer than the deadlock
+// window. The kernel's certified-wait signal must keep such runs alive, and
+// preloading only changes cycle charging — outputs must stay bit-identical
+// to the cold chip run.
+func TestChipPreloadedMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip integration test")
+	}
+	m, w, inputs := chipTestModel(t, 2)
+	cold := MAERILike(64, 16)
+	warm := MAERILike(64, 16)
+	warm.Preloaded = true
+
+	for _, placement := range []string{"layer", "batch"} {
+		coldOuts, _, err := RunModelChip(context.Background(), m, w, inputs, cold,
+			ChipOptions{Cores: 2, Placement: placement}, nil)
+		if err != nil {
+			t.Fatalf("%s cold: %v", placement, err)
+		}
+		warmOuts, _, err := RunModelChip(context.Background(), m, w, inputs, warm,
+			ChipOptions{Cores: 2, Placement: placement}, nil)
+		if err != nil {
+			t.Fatalf("%s preloaded: watchdog aborted a legitimate shared-bank stall: %v", placement, err)
+		}
+		for i := range coldOuts {
+			if !reflect.DeepEqual(coldOuts[i].Data(), warmOuts[i].Data()) {
+				t.Errorf("%s: preloading changed stream %d output bits", placement, i)
+			}
+		}
+	}
+}
+
 // TestChipDeterminism pins bit-identical repeatability: two fresh N-core
 // chip runs of the same workload produce deeply equal aggregates and
 // outputs.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-json-smoke vet lint fmt-check trace-demo checksweep fuzz fuzz-smoke load-test serve-smoke
+.PHONY: build test race bench bench-json bench-json-smoke vet lint fmt-check trace-demo checksweep fuzz fuzz-smoke load-test serve-smoke trace-smoke persist-smoke
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,20 @@ load-test:
 # checks SIGTERM drains to a clean exit 0.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# trace-smoke replays the bundled tiny arrival trace twice through
+# stonnetrace with a shared persistent cache dir: the second replay (a
+# fresh server over the same dir) must be ~100% warm and report the same
+# result digest as the first — deterministic replay plus restart-safe
+# persistence in one check.
+trace-smoke:
+	./scripts/trace_smoke.sh
+
+# persist-smoke restarts the real stonned binary over a -cache-dir and
+# asserts the repeated job is served warm and byte-identical after the
+# restart.
+persist-smoke:
+	./scripts/persist_smoke.sh
 
 bench:
 	$(GO) test -run=XXX -bench=. -benchtime=1x .

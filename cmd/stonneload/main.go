@@ -23,12 +23,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -44,7 +44,11 @@ func main() {
 
 	base := *addr
 	if base == "" {
-		srv := httptest.NewServer(serve.New(serve.Config{Workers: *workers, QueueDepth: *queue}).Handler())
+		s, err := serve.New(serve.Config{Workers: *workers, QueueDepth: *queue})
+		if err != nil {
+			fatal(err)
+		}
+		srv := httptest.NewServer(s.Handler())
 		defer srv.Close()
 		base = srv.URL
 		fmt.Fprintf(os.Stderr, "stonneload: in-process server at %s\n", base)
@@ -99,11 +103,14 @@ func main() {
 				shape := i % *shapes
 				t0 := time.Now()
 				env, err := post(client, base, bodies[shape])
-				local = append(local, time.Since(t0))
 				if err != nil {
+					// Timeouts and 429s are counted, not mixed into the
+					// success percentiles: a shed request's latency says
+					// nothing about serving latency.
 					failures.Add(1)
 					continue
 				}
+				local = append(local, time.Since(t0))
 				if env.Cached {
 					hits.Add(1)
 				} else {
@@ -121,19 +128,16 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(began)
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		return latencies[int(p*float64(len(latencies)-1))]
-	}
+	// Nearest-rank percentiles over successful requests only (failures are
+	// reported as their own count below, never in the distribution).
+	sum := stats.SummarizeLatencies(latencies)
 	total := hits.Load() + misses.Load() + failures.Load()
 	hitRate := float64(hits.Load()) / float64(max(1, hits.Load()+misses.Load()))
 	fmt.Printf("requests    : %d (%d concurrent clients, %d shapes)\n", total, *concurrency, *shapes)
 	fmt.Printf("duration    : %v (%.0f req/s)\n", elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	fmt.Printf("cache       : %d warm hits, %d cold runs (%.2f%% hit rate)\n", hits.Load(), misses.Load(), 100*hitRate)
-	fmt.Printf("latency     : p50 %v, p99 %v\n", pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Printf("latency     : p50 %.3fms, p90 %.3fms, p99 %.3fms over %d ok (%d failed excluded)\n",
+		sum.P50Ms, sum.P90Ms, sum.P99Ms, sum.Count, failures.Load())
 	fmt.Printf("byte-ident  : %d mismatches, %d failures\n", mismatches.Load(), failures.Load())
 
 	if st, err := getStats(client, base); err == nil {

@@ -21,6 +21,11 @@ type Cache struct {
 
 	hits, misses, evictions uint64
 	bytes                   int64
+
+	// disk, when set, backs the LRU with a persistent tier: entries are
+	// written through on Put and a memory miss falls back to a disk load,
+	// so results survive both eviction and process restarts.
+	disk *DiskStore
 }
 
 // cacheEntry is one stored result body.
@@ -45,28 +50,66 @@ func NewCache(entries int) *Cache {
 	}
 }
 
+// SetDisk attaches the persistent tier. Call before the cache starts
+// serving; the store has its own lock, so no cache mutex is held during
+// disk I/O.
+func (c *Cache) SetDisk(d *DiskStore) { c.disk = d }
+
 // Get returns the stored result body for k, marking it most recently used.
-// The returned slice is the cached backing array: callers must treat it as
-// immutable (the server only ever writes it to a response).
+// On a memory miss it consults the disk tier (when attached) and promotes
+// a disk hit back into the LRU. The returned slice is the cached backing
+// array: callers must treat it as immutable (the server only ever writes
+// it to a response).
 func (c *Cache) Get(k jobkey.Key) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	el, ok := c.byKey[k]
-	if !ok {
-		c.misses++
+	if ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		body := el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, true
+	}
+	c.misses++
+	c.mu.Unlock()
+	if c.disk == nil {
 		return nil, false
 	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	body, ok := c.disk.Load(k)
+	if !ok {
+		return nil, false
+	}
+	// Promote without re-writing disk: the entry just came from there. A
+	// racing promotion of the same key is harmless — insert is idempotent.
+	c.mu.Lock()
+	c.insert(k, body)
+	c.mu.Unlock()
+	return body, true
 }
 
 // Put stores the result body for k, evicting the least-recently-used entry
-// when the store is full. Storing an existing key refreshes its recency but
-// keeps the original body — content addressing guarantees they are equal.
+// when the store is full, and writes through to the disk tier when one is
+// attached. Storing an existing key refreshes its recency but keeps the
+// original body — content addressing guarantees they are equal.
 func (c *Cache) Put(k jobkey.Key, body []byte) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.insert(k, body)
+	c.mu.Unlock()
+	if c.disk != nil {
+		c.disk.Save(k, body)
+	}
+}
+
+// insert adds a new entry to the LRU, evicting as needed. Caller holds mu
+// and has established k is absent (a racing duplicate is tolerated: the
+// bodies are identical by content addressing, the older entry just ages
+// out).
+func (c *Cache) insert(k jobkey.Key, body []byte) {
 	if el, ok := c.byKey[k]; ok {
 		c.ll.MoveToFront(el)
 		return
@@ -101,13 +144,16 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+
+	// Disk is the persistent tier's state, present only when a cache
+	// directory is configured.
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
+	st := CacheStats{
 		Entries:   c.ll.Len(),
 		Capacity:  c.cap,
 		Bytes:     c.bytes,
@@ -115,4 +161,11 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+	disk := c.disk
+	c.mu.Unlock()
+	if disk != nil {
+		ds := disk.Stats()
+		st.Disk = &ds
+	}
+	return st
 }

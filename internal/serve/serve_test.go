@@ -17,7 +17,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -146,7 +149,10 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // TestAdmissionControl floods a server whose single worker is blocked and
 // checks overflow gets 429 with the rejected counter moving.
 func TestAdmissionControl(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s, err := New(Config{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	s.run = func(ctx context.Context, j *job, progress progressFn) (*Result, error) {
 		select {
@@ -195,7 +201,10 @@ func TestAdmissionControl(t *testing.T) {
 // TestCoalescing submits the same job concurrently while the first is
 // stalled: the followers must share the leader's single execution.
 func TestCoalescing(t *testing.T) {
-	s := New(Config{Workers: 4, QueueDepth: 8})
+	s, err := New(Config{Workers: 4, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	release := make(chan struct{})
 	var runCount int
 	var mu sync.Mutex
@@ -375,5 +384,66 @@ func TestStatsAndAuxEndpoints(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("%s: status %d", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestLatencyRingClampsSize pins the divide-by-zero fix: a ring sized <= 0
+// must clamp instead of panicking in add on `% cap`.
+func TestLatencyRingClampsSize(t *testing.T) {
+	for _, size := range []int{-4, 0, 1} {
+		l := newLatencyRing(size)
+		l.add(3 * time.Millisecond)
+		l.add(5 * time.Millisecond)
+		s := l.stats()
+		if s.Count != 2 {
+			t.Errorf("size %d: count %d, want 2", size, s.Count)
+		}
+		// Window capacity is clamped to 1: the retained sample is the last.
+		if got := time.Duration(s.P99Ms * float64(time.Millisecond)); got != 5*time.Millisecond {
+			t.Errorf("size %d: p99 %v, want 5ms", size, got)
+		}
+	}
+}
+
+// TestLatencyRingNearestRankTail pins the percentile regression at the
+// server's ring: 50 samples 1..50ms must report p99 = 50ms (the max, by
+// nearest rank), not 49ms (the truncating index the old code used).
+func TestLatencyRingNearestRankTail(t *testing.T) {
+	l := newLatencyRing(64)
+	for i := 1; i <= 50; i++ {
+		l.add(time.Duration(i) * time.Millisecond)
+	}
+	s := l.stats()
+	asDur := func(msv float64) time.Duration { return time.Duration(msv * float64(time.Millisecond)) }
+	if got := asDur(s.P99Ms); got != 50*time.Millisecond {
+		t.Errorf("p99 = %v, want 50ms (nearest rank includes the tail)", got)
+	}
+	if got := asDur(s.P50Ms); got != 25*time.Millisecond {
+		t.Errorf("p50 = %v, want 25ms", got)
+	}
+	if got := asDur(s.P90Ms); got != 45*time.Millisecond {
+		t.Errorf("p90 = %v, want 45ms", got)
+	}
+}
+
+// TestEnvelopeTimingSplit checks the queue-wait vs simulate-time split on
+// the wire: a cold run reports a positive sim_ms, a warm hit reports 0/0.
+func TestEnvelopeTimingSplit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, raw1 := postJob(t, ts, gemmBody)
+	var cold Envelope
+	if err := json.Unmarshal(raw1, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if !(cold.SimMs > 0) {
+		t.Errorf("cold run sim_ms = %g, want > 0", cold.SimMs)
+	}
+	_, raw2 := postJob(t, ts, gemmBody)
+	var warm Envelope
+	if err := json.Unmarshal(raw2, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.SimMs > 0 || warm.QueueMs > 0 {
+		t.Errorf("warm hit reports timing %g/%g, want 0/0", warm.QueueMs, warm.SimMs)
 	}
 }

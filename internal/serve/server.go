@@ -11,13 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/jobkey"
 	"repro/internal/sim"
 	"repro/internal/simpool"
+	"repro/internal/stats"
 )
 
 // Config sizes the server.
@@ -33,6 +33,12 @@ type Config struct {
 	// BatchWorkers bounds the simpool fan-out inside one batched job;
 	// <= 0 runs each batch serially (1), keeping the worker bound global.
 	BatchWorkers int
+	// CacheDir, when non-empty, backs the result cache with a persistent
+	// disk tier: results survive process restarts (the jobkey content
+	// addresses are stable across processes) and memory eviction.
+	CacheDir string
+	// DiskEntries bounds the disk tier; <= 0 uses DefaultDiskEntries.
+	DiskEntries int
 }
 
 // flight is one in-progress execution that identical concurrent requests
@@ -69,8 +75,9 @@ type Server struct {
 	run func(ctx context.Context, j *job, progress progressFn) (*Result, error)
 }
 
-// New builds a server.
-func New(cfg Config) *Server {
+// New builds a server. It fails only when a configured cache directory
+// cannot be opened.
+func New(cfg Config) (*Server, error) {
 	workers := simpool.Workers(cfg.Workers, 1<<30)
 	queue := cfg.QueueDepth
 	if queue < 0 {
@@ -91,10 +98,17 @@ func New(cfg Config) *Server {
 		warmLat:  newLatencyRing(4096),
 		coldLat:  newLatencyRing(4096),
 	}
+	if cfg.CacheDir != "" {
+		disk, err := NewDiskStore(cfg.CacheDir, cfg.DiskEntries)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.SetDisk(disk)
+	}
 	s.run = func(ctx context.Context, j *job, progress progressFn) (*Result, error) {
 		return execute(ctx, j, batchWorkers, progress)
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the route table.
@@ -105,16 +119,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/archs", s.handleArchs)
 	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/replay", s.handleReplay)
 	return mux
 }
 
 // Envelope is the POST /jobs response: whether the result came from the
-// cache, the job's content address, and the raw result bytes (replayed
-// verbatim on a hit, so repeated jobs are byte-identical).
+// cache, the job's content address, the server-side cost split, and the
+// raw result bytes (replayed verbatim on a hit, so repeated jobs are
+// byte-identical).
 type Envelope struct {
-	Cached bool            `json:"cached"`
-	Key    jobkey.Key      `json:"key"`
-	Result json.RawMessage `json:"result"`
+	Cached bool       `json:"cached"`
+	Key    jobkey.Key `json:"key"`
+	// QueueMs is time this request spent waiting — for an execution slot,
+	// or for the coalesced leader's flight — and SimMs the time actually
+	// simulating. Warm hits report 0/0; coalesced followers report their
+	// wait with SimMs 0 (they did not simulate). Timing never feeds the
+	// cache key and is the only per-response field that varies between
+	// byte-identical results.
+	QueueMs float64         `json:"queue_ms"`
+	SimMs   float64         `json:"sim_ms"`
+	Result  json.RawMessage `json:"result"`
 }
 
 type errorBody struct {
@@ -184,16 +208,25 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusInternalServerError, errorBody{f.err.Error()})
 			return
 		}
-		s.warmLat.add(time.Since(began))
-		writeJSON(w, http.StatusOK, Envelope{Cached: true, Key: j.key, Result: f.body})
+		wait := time.Since(began)
+		s.warmLat.add(wait)
+		writeJSON(w, http.StatusOK, Envelope{
+			Cached: true, Key: j.key, QueueMs: durMs(wait), Result: f.body,
+		})
 		return
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[j.key] = f
 	s.mu.Unlock()
 
-	body, err := s.execJob(r.Context(), j, w)
+	body, queueWait, simTime, err := s.execJob(r.Context(), j, w)
 	f.body, f.err = body, err
+	// Publish to the cache BEFORE dropping the in-flight entry: a request
+	// arriving in between must find one or the other, never a gap where an
+	// identical job runs cold a second time.
+	if err == nil {
+		s.cache.Put(j.key, body)
+	}
 	s.mu.Lock()
 	delete(s.inflight, j.key)
 	s.mu.Unlock()
@@ -214,42 +247,54 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
 		return
 	}
-	s.cache.Put(j.key, body)
 	s.mu.Lock()
 	s.coldRuns++
 	s.mu.Unlock()
 	s.coldLat.add(time.Since(began))
+	env := Envelope{
+		Cached: false, Key: j.key,
+		QueueMs: durMs(queueWait), SimMs: durMs(simTime), Result: body,
+	}
 	if j.req.Progress {
 		_ = json.NewEncoder(w).Encode(struct {
 			Type string `json:"type"`
 			Envelope
-		}{"result", Envelope{Cached: false, Key: j.key, Result: body}})
+		}{"result", env})
 		return
 	}
-	writeJSON(w, http.StatusOK, Envelope{Cached: false, Key: j.key, Result: body})
+	writeJSON(w, http.StatusOK, env)
 }
 
 // execJob takes an execution slot, runs the job, and returns the
-// canonical marshaled result bytes. When the request asked for progress,
-// samples stream to the response as NDJSON lines before the final
-// envelope (written by the caller).
-func (s *Server) execJob(ctx context.Context, j *job, w http.ResponseWriter) ([]byte, error) {
+// canonical marshaled result bytes plus the cost split: time spent
+// waiting for the slot vs time simulating. When the request asked for
+// progress, samples stream to the response as NDJSON lines before the
+// final envelope (written by the caller).
+func (s *Server) execJob(ctx context.Context, j *job, w http.ResponseWriter) (body []byte, queueWait, simTime time.Duration, err error) {
+	waitStart := time.Now()
 	select {
 	case s.exec <- struct{}{}:
 		defer func() { <-s.exec }()
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, time.Since(waitStart), 0, ctx.Err()
 	}
+	queueWait = time.Since(waitStart)
 	var progress progressFn
 	if j.req.Progress {
 		progress = s.streamProgress(w)
 	}
+	simStart := time.Now()
 	res, err := s.run(ctx, j, progress)
+	simTime = time.Since(simStart)
 	if err != nil {
-		return nil, err
+		return nil, queueWait, simTime, err
 	}
-	return json.Marshal(res)
+	body, err = json.Marshal(res)
+	return body, queueWait, simTime, err
 }
+
+// durMs converts a duration to float milliseconds.
+func durMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // progressLine is one NDJSON progress sample.
 type progressLine struct {
@@ -290,20 +335,22 @@ func (s *Server) streamProgress(w http.ResponseWriter) progressFn {
 	}
 }
 
-// Stats is the GET /stats payload.
+// Stats is the GET /stats payload. The latency summaries cover successful
+// requests only (failed jobs never feed the rings) and use the shared
+// nearest-rank percentile definition from internal/stats.
 type Stats struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Workers       int        `json:"workers"`
-	QueueDepth    int        `json:"queue_depth"`
-	Inflight      int        `json:"inflight"`
-	WarmHits      uint64     `json:"warm_hits"`
-	Coalesced     uint64     `json:"coalesced"`
-	ColdRuns      uint64     `json:"cold_runs"`
-	Rejected      uint64     `json:"rejected"`
-	Failed        uint64     `json:"failed"`
-	Cache         CacheStats `json:"cache"`
-	WarmLatency   Latency    `json:"warm_latency"`
-	ColdLatency   Latency    `json:"cold_latency"`
+	UptimeSeconds float64              `json:"uptime_seconds"`
+	Workers       int                  `json:"workers"`
+	QueueDepth    int                  `json:"queue_depth"`
+	Inflight      int                  `json:"inflight"`
+	WarmHits      uint64               `json:"warm_hits"`
+	Coalesced     uint64               `json:"coalesced"`
+	ColdRuns      uint64               `json:"cold_runs"`
+	Rejected      uint64               `json:"rejected"`
+	Failed        uint64               `json:"failed"`
+	Cache         CacheStats           `json:"cache"`
+	WarmLatency   stats.LatencySummary `json:"warm_latency"`
+	ColdLatency   stats.LatencySummary `json:"cold_latency"`
 }
 
 // Snapshot returns the current service counters.
@@ -355,23 +402,23 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.board.Snapshot())
 }
 
-// Latency summarizes one class of request latencies.
-type Latency struct {
-	Count uint64  `json:"count"`
-	P50Ms float64 `json:"p50_ms"`
-	P99Ms float64 `json:"p99_ms"`
+// latencyRing keeps the most recent size samples for percentile reporting.
+// Only successful requests are added; failures are a separate counter so
+// they never skew the distribution.
+func newLatencyRing(size int) *latencyRing {
+	if size < 1 {
+		// A zero-capacity ring would divide by zero in add; clamp to the
+		// smallest ring that still reports a (degenerate) distribution.
+		size = 1
+	}
+	return &latencyRing{samples: make([]time.Duration, 0, size)}
 }
 
-// latencyRing keeps the most recent size samples for percentile reporting.
 type latencyRing struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	next    int
 	count   uint64
-}
-
-func newLatencyRing(size int) *latencyRing {
-	return &latencyRing{samples: make([]time.Duration, 0, size)}
 }
 
 func (l *latencyRing) add(d time.Duration) {
@@ -386,19 +433,16 @@ func (l *latencyRing) add(d time.Duration) {
 	l.count++
 }
 
-func (l *latencyRing) stats() Latency {
+// stats summarizes the retained window with the shared nearest-rank
+// helper. Count is every sample ever observed, percentiles cover the
+// window (the ring overwrites oldest-first).
+func (l *latencyRing) stats() stats.LatencySummary {
 	l.mu.Lock()
-	sorted := make([]time.Duration, len(l.samples))
-	copy(sorted, l.samples)
+	window := make([]time.Duration, len(l.samples))
+	copy(window, l.samples)
 	count := l.count
 	l.mu.Unlock()
-	if len(sorted) == 0 {
-		return Latency{Count: count}
-	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	pct := func(p float64) float64 {
-		i := int(p * float64(len(sorted)-1))
-		return float64(sorted[i]) / float64(time.Millisecond)
-	}
-	return Latency{Count: count, P50Ms: pct(0.50), P99Ms: pct(0.99)}
+	sum := stats.SummarizeLatencies(window)
+	sum.Count = count
+	return sum
 }

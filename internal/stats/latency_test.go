@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition on the exact
+// small-sample case the old truncating form got wrong: with 50 samples,
+// int(0.99*(50-1)) = 48 reads the second-largest sample as the p99. The
+// nearest-rank index ceil(0.99*50)-1 = 49 reads the maximum.
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := make([]time.Duration, 50)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.99, 50 * time.Millisecond}, // the regression: tail must be the max
+		{1.00, 50 * time.Millisecond},
+		{0.90, 45 * time.Millisecond},
+		{0.50, 25 * time.Millisecond},
+		{0.00, 1 * time.Millisecond},
+		{-1.0, 1 * time.Millisecond}, // clamped
+		{2.00, 50 * time.Millisecond},
+	} {
+		if got := PercentileDuration(sorted, tc.p); got != tc.want {
+			t.Errorf("p=%g: got %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := PercentileDuration(nil, 0.99); got != 0 {
+		t.Errorf("empty slice: got %v, want 0", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := PercentileDuration(one, p); got != 7*time.Millisecond {
+			t.Errorf("single sample p=%g: got %v", p, got)
+		}
+	}
+}
+
+func TestSummarizeLatencies(t *testing.T) {
+	// Unsorted on purpose: Summarize must sort a copy.
+	samples := []time.Duration{
+		4 * time.Millisecond, 1 * time.Millisecond,
+		3 * time.Millisecond, 2 * time.Millisecond,
+	}
+	s := SummarizeLatencies(samples)
+	if s.Count != 4 {
+		t.Errorf("count %d, want 4", s.Count)
+	}
+	// Compare through integer durations: float equality is reserved to
+	// internal/check.
+	asDur := func(msv float64) time.Duration { return time.Duration(msv * float64(time.Millisecond)) }
+	if asDur(s.MinMs) != 1*time.Millisecond || asDur(s.MaxMs) != 4*time.Millisecond {
+		t.Errorf("min/max %g/%g ms", s.MinMs, s.MaxMs)
+	}
+	if asDur(s.MeanMs) != 2500*time.Microsecond {
+		t.Errorf("mean %g ms, want 2.5", s.MeanMs)
+	}
+	if asDur(s.P50Ms) != 2*time.Millisecond { // ceil(0.5*4)=2 -> sorted[1]
+		t.Errorf("p50 %g ms, want 2", s.P50Ms)
+	}
+	if asDur(s.P99Ms) != 4*time.Millisecond {
+		t.Errorf("p99 %g ms, want 4 (the max)", s.P99Ms)
+	}
+	if samples[0] != 4*time.Millisecond {
+		t.Error("Summarize mutated the input slice")
+	}
+
+	if z := SummarizeLatencies(nil); z.Count != 0 || asDur(z.P99Ms) != 0 {
+		t.Errorf("empty summary: %+v", z)
+	}
+}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# persist_smoke.sh — restart-persistence smoke test for the stonned daemon.
+#
+# Starts stonned with -cache-dir, submits a job cold, SIGTERMs the
+# daemon, restarts it over the same directory, and asserts the repeat
+# submission is served warm ("cached":true) with a byte-identical
+# result. This is the deploy-facing proof that the disk tier survives a
+# process restart.
+set -eu
+
+GO=${GO:-go}
+ADDR=${STONNED_ADDR:-127.0.0.1:19445}
+BASE="http://$ADDR"
+TMP=$(mktemp -d)
+PID=""
+cleanup() {
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+JOB='{"op":"gemm","arch":"maeri","ms":32,"bw":16,"m":16,"n":16,"k":32,"seed":11}'
+
+wait_healthy() {
+    i=0
+    until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "persist-smoke: stonned did not become healthy at $BASE" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+stop_daemon() {
+    kill -TERM "$PID"
+    if wait "$PID"; then
+        status=0
+    else
+        status=$?
+    fi
+    PID=""
+    if [ "$status" -ne 0 ]; then
+        echo "persist-smoke: stonned exited $status on SIGTERM" >&2
+        exit 1
+    fi
+}
+
+$GO build -o "$TMP/stonned" ./cmd/stonned
+
+# First life: cold run populates the disk cache.
+"$TMP/stonned" -addr "$ADDR" -cache-dir "$TMP/cache" &
+PID=$!
+wait_healthy
+curl -sf -X POST -d "$JOB" "$BASE/jobs" >"$TMP/cold.json"
+grep -q '"cached":false' "$TMP/cold.json" || {
+    echo "persist-smoke: first submission was not a cold run:" >&2
+    head -c 300 "$TMP/cold.json" >&2; echo >&2
+    exit 1
+}
+stop_daemon
+
+# Second life: a fresh process over the same cache dir must serve the
+# same job warm, byte-identically.
+"$TMP/stonned" -addr "$ADDR" -cache-dir "$TMP/cache" &
+PID=$!
+wait_healthy
+curl -sf -X POST -d "$JOB" "$BASE/jobs" >"$TMP/warm.json"
+grep -q '"cached":true' "$TMP/warm.json" || {
+    echo "persist-smoke: restarted daemon missed the persisted result:" >&2
+    head -c 300 "$TMP/warm.json" >&2; echo >&2
+    exit 1
+}
+sed 's/.*"result"://' "$TMP/cold.json" >"$TMP/cold.result"
+sed 's/.*"result"://' "$TMP/warm.json" >"$TMP/warm.result"
+cmp -s "$TMP/cold.result" "$TMP/warm.result" || {
+    echo "persist-smoke: persisted result bytes differ from the cold run" >&2
+    exit 1
+}
+stop_daemon
+
+echo "persist-smoke: ok (cold run, restart, warm byte-identical repeat, clean shutdowns)"

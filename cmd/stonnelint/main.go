@@ -1,23 +1,39 @@
 // Command stonnelint is the simulator's invariant checker: a multichecker
 // over the internal/lint analyzer suite. It loads the module's packages
-// (test files included), runs every analyzer, applies the //lint:ignore
-// suppression convention and prints surviving findings one per line:
+// (test files included by default), runs every analyzer, applies the
+// //lint:ignore suppression convention and prints surviving findings one
+// per line:
 //
 //	file:line:col: message (analyzer)
 //
 // Usage:
 //
-//	stonnelint [-C dir] [-list] [patterns ...]
+//	stonnelint [-C dir] [-list] [-tests=false] [-suppressions] [patterns ...]
 //
 // Patterns default to ./... relative to the module root. The exit status
 // is 1 when any diagnostic survives, 2 on a loading or internal error —
 // the same contract as go vet, so `make lint` and CI can gate on it.
+//
+// -tests=false drops findings located in _test.go files (individual
+// analyzers may still exempt tests on principle — floatcmp, for example,
+// lets golden tests pin bit-exact floats deliberately).
+//
+// -suppressions switches to audit mode: instead of findings it lists every
+// //lint:ignore directive in the matched packages as
+//
+//	file:line: analyzer: reason
+//
+// and exits 0, so the full set of silenced findings is reviewable (CI
+// diffs this output against the committed SUPPRESSIONS.txt allowlist — a
+// new suppression must arrive as a reviewed allowlist edit).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/lint"
 )
@@ -25,8 +41,10 @@ import (
 func main() {
 	dir := flag.String("C", ".", "module root to lint")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	tests := flag.Bool("tests", true, "report findings in _test.go files")
+	suppressions := flag.Bool("suppressions", false, "audit mode: list every //lint:ignore directive instead of running the analyzers")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: stonnelint [-C dir] [-list] [patterns ...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stonnelint [-C dir] [-list] [-tests=false] [-suppressions] [patterns ...]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repository's invariant analyzers (default patterns: ./...).\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Suppress a finding with a justified directive:\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "\t//lint:ignore <analyzer> <reason>\n\n")
@@ -57,10 +75,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	if *suppressions {
+		for _, s := range lint.Suppressions(pkgs, analyzers) {
+			s.File = relTo(loader.Dir, s.File)
+			fmt.Println(s)
+		}
+		return
+	}
+
 	diags, err := lint.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if !*tests {
+		kept := diags[:0]
+		for _, d := range diags {
+			if !strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
 	}
 	for _, d := range diags {
 		fmt.Println(d)
@@ -69,4 +105,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stonnelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		os.Exit(1)
 	}
+}
+
+// relTo renders path relative to the module root so audit output is stable
+// across checkouts (the committed allowlist is diffed verbatim in CI).
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return path
 }

@@ -3,6 +3,7 @@ package dnn
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/tensor"
 )
@@ -231,7 +232,16 @@ func TrainStep(m *Model, w *Weights, input *tensor.Tensor, label int, run GEMMRu
 // weights stay zero, preserving the sparsity structure — the standard
 // fixed-mask fine-tuning regime.
 func ApplySGD(w *Weights, grads map[string]*tensor.Tensor, lr float64) error {
-	for name, g := range grads {
+	// Walk layers in sorted order. Each layer's tensor is disjoint so the
+	// updates commute, but a sorted walk also makes the "unknown layer"
+	// error deterministic when several gradients are stale.
+	names := make([]string, 0, len(grads))
+	for name := range grads {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := grads[name]
 		t, ok := w.ByLayer[name]
 		if !ok {
 			return fmt.Errorf("dnn: gradient for unknown layer %s", name)

@@ -2,6 +2,7 @@ package dnn
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/tensor"
@@ -172,5 +173,26 @@ func TestTrainStepErrors(t *testing.T) {
 	wx := InitWeights(noSM, 1)
 	if _, err := TrainStep(noSM, wx, RandomInput(noSM, 1), 0, nil); err == nil {
 		t.Error("model without softmax accepted")
+	}
+}
+
+// TestApplySGDDeterministicError pins the sorted layer walk in ApplySGD:
+// with several stale gradients, the reported unknown layer must always be
+// the lexicographically first, not whichever the map yielded first.
+func TestApplySGDDeterministicError(t *testing.T) {
+	w := &Weights{ByLayer: map[string]*tensor.Tensor{}}
+	grads := map[string]*tensor.Tensor{
+		"zeta":  tensor.New(2),
+		"alpha": tensor.New(2),
+		"mid":   tensor.New(2),
+	}
+	for i := 0; i < 20; i++ {
+		err := ApplySGD(w, grads, 0.1)
+		if err == nil {
+			t.Fatal("expected unknown-layer error")
+		}
+		if !strings.Contains(err.Error(), "alpha") {
+			t.Fatalf("iteration %d: error names %q, want the first layer alpha", i, err)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package energy
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/config"
@@ -191,5 +192,27 @@ func TestStalledStatic(t *testing.T) {
 	}
 	if len(got) != len(want) {
 		t.Errorf("tiers: %v", got)
+	}
+}
+
+// TestTotalAreaDeterministic pins TotalArea's sorted-component walk: the
+// total must be bit-identical across calls (a map-iteration-order sum can
+// differ in the last bits between otherwise identical invocations).
+func TestTotalAreaDeterministic(t *testing.T) {
+	hw := config.MAERILike(64, 16)
+	br := Area(&hw)
+	keys := make([]string, 0, len(br))
+	for k := range br {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var want float64
+	for _, k := range keys {
+		want += br[k]
+	}
+	for i := 0; i < 50; i++ {
+		if got := TotalArea(&hw); got != want {
+			t.Fatalf("call %d: TotalArea = %v, want sorted-order sum %v", i, got, want)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/config"
 	"repro/internal/dnn"
@@ -114,10 +115,24 @@ func fig5Run(tag string, hw config.Hardware, scale int) (Fig5Row, error) {
 		TotalArea:   energy.TotalArea(&hw),
 		Counters:    counters,
 	}
-	for _, v := range row.EnergyUJ {
-		row.TotalEnergy += v
-	}
+	row.TotalEnergy = sumEnergy(row.EnergyUJ)
 	return row, nil
+}
+
+// sumEnergy totals a per-component energy map in sorted-key order: float
+// addition is order-sensitive in the last bits, and Fig. 5 rows must be
+// byte-identical across runs.
+func sumEnergy(br map[string]float64) float64 {
+	keys := make([]string, 0, len(br))
+	for k := range br {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var t float64
+	for _, k := range keys {
+		t += br[k]
+	}
+	return t
 }
 
 // onChip keeps the four components of the paper's Fig. 5b breakdown

@@ -1,7 +1,7 @@
 // Package lint is the simulator's custom static-analysis layer: a small
 // go/analysis-style framework (the toolchain image carries no
 // golang.org/x/tools, so the Analyzer/Pass surface is reimplemented on the
-// standard library's go/ast + go/types) plus the five analyzers that
+// standard library's go/ast + go/types) plus the ten analyzers that
 // mechanically enforce the invariants earlier PRs established by
 // convention:
 //
@@ -15,6 +15,18 @@
 //     architecture's NumericContract and names are unique (PR 4).
 //   - globalrand: no math/rand global-state use — randomness flows
 //     through seeded *rand.Rand so cycle counts stay reproducible.
+//   - maporder: no map iteration feeding order-sensitive accumulation,
+//     serialization or hashing — walk sorted keys instead (the
+//     energy.Table.Apply bit-drift regression, generalized).
+//   - wallclock: no time.Now/Since/Sleep-family reads inside the
+//     simulation core; cycle counts must never depend on the host clock.
+//   - mutexheld: fields annotated `guarded by <mu>` are only touched in
+//     functions that lock that mutex on the same base (or document the
+//     caller-holds-lock contract).
+//   - ctxcancel: every context.WithCancel/WithTimeout/WithDeadline cancel
+//     func is kept alive — deferred, called, passed or stored.
+//   - atomicmix: a variable reached through sync/atomic anywhere is never
+//     also accessed plainly.
 //
 // Diagnostics are suppressed with a written justification:
 //
@@ -22,7 +34,8 @@
 //
 // placed on the offending line, on the line directly above it, or in a
 // function's doc comment (covering the whole function). A suppression
-// without a reason is itself a diagnostic.
+// without a reason is itself a diagnostic, and stonnelint -suppressions
+// lists every directive in force so the set stays auditable.
 package lint
 
 import (

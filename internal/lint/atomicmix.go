@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix returns the analyzer banning mixed atomic and non-atomic
+// access to the same variable: once any site reaches a field or
+// package-level variable through sync/atomic (atomic.AddUint64(&x.n, 1),
+// atomic.LoadUint64(&x.n), ...), every other read and write of it must go
+// through sync/atomic too. A plain load racing an atomic store is a data
+// race the memory model gives no meaning to — and unlike a mutex bug it
+// can produce torn or stale values that only surface as last-bit
+// nondeterminism in results. The typed atomics (atomic.Uint64 and
+// friends) make the mix unrepresentable and are the preferred fix; this
+// analyzer polices the pointer-style API that does not.
+func AtomicMix() *Analyzer {
+	a := &Analyzer{
+		Name: "atomicmix",
+		Doc: "a variable accessed through sync/atomic anywhere must be accessed " +
+			"through sync/atomic everywhere (or migrate to a typed atomic)",
+	}
+	a.Run = func(pass *Pass) error {
+		atomicObjs, sanctioned := collectAtomicAccesses(pass)
+		if len(atomicObjs) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				// Field accesses arrive here too: a SelectorExpr's Sel is
+				// itself visited as an *ast.Ident.
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil || !atomicObjs[obj] || sanctioned[id.Pos()] {
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s is accessed through sync/atomic elsewhere: this plain access races with the atomic ones — use sync/atomic here too (or a typed atomic)", obj.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// collectAtomicAccesses finds every &x passed to a sync/atomic function:
+// the objects behind them (fields or variables) become atomic-only, and
+// the identifier positions inside those arguments are sanctioned so the
+// reporting walk skips the atomic sites themselves.
+func collectAtomicAccesses(pass *Pass) (map[types.Object]bool, map[token.Pos]bool) {
+	objs := make(map[types.Object]bool)
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				target := un.X
+				var id *ast.Ident
+				switch e := target.(type) {
+				case *ast.SelectorExpr:
+					id = e.Sel
+				case *ast.Ident:
+					id = e
+				default:
+					continue
+				}
+				obj := pass.Info.Uses[id]
+				if obj == nil {
+					continue
+				}
+				objs[obj] = true
+				sanctioned[id.Pos()] = true
+			}
+			return true
+		})
+	}
+	return objs, sanctioned
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cancelReturningFuncs are the context constructors whose last result is a
+// cancel function the caller owns: dropping it leaks the context's timer
+// and goroutine until the parent dies, and — in the serving layer's
+// per-job cancellation seam — leaves jobs uncancellable.
+var cancelReturningFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+// CtxCancel returns the analyzer enforcing that every
+// context.WithCancel/WithTimeout/WithDeadline call keeps its cancel
+// function alive: the cancel variable must not be the blank identifier and
+// must be used — deferred, called, passed along, stored or returned —
+// somewhere in the enclosing function. A cancel that is only ever
+// reassigned counts as never called.
+//
+// This is a liveness check, not a full path analysis: a cancel called on
+// one branch but leaked on another passes here (go vet's lostcancel owns
+// the flow-sensitive version; this analyzer is the belt to its suspenders
+// and also covers the Cause variants vet does not).
+func CtxCancel() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxcancel",
+		Doc: "context.WithCancel/WithTimeout/WithDeadline cancel funcs must be called " +
+			"or deferred (never discarded): leaked contexts pin timers and goroutines",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkCancelUse(pass, fd.Body)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkCancelUse(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Rhs) != 1 || len(st.Lhs) < 2 {
+			return true
+		}
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok || !isCancelReturningCall(pass.Info, call) {
+			return true
+		}
+		cancel, ok := st.Lhs[len(st.Lhs)-1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancel.Name == "_" {
+			pass.Reportf(cancel.Pos(), "cancel function from %s is discarded: defer it (or call it on every path) so the context releases its resources", callName(call))
+			return true
+		}
+		obj := pass.Info.Defs[cancel]
+		if obj == nil {
+			obj = pass.Info.Uses[cancel] // plain `=` rebinding
+		}
+		if obj == nil {
+			return true
+		}
+		if !cancelObjUsed(pass, body, obj, cancel) {
+			pass.Reportf(cancel.Pos(), "cancel function from %s is never called: defer %s() (or call it on every path)", callName(call), cancel.Name)
+		}
+		return true
+	})
+}
+
+// cancelObjUsed reports whether obj is genuinely consumed in body: any use
+// other than its defining identifier and other than being the target of a
+// further plain assignment.
+func cancelObjUsed(pass *Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if st, ok := n.(*ast.AssignStmt); ok {
+			// `_ = cancel` only silences the compiler; it keeps nothing
+			// alive and does not count.
+			if allBlank(st.Lhs) && len(st.Rhs) == 1 {
+				if id, ok := st.Rhs[0].(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					return false
+				}
+			}
+			// Walk RHS (and any LHS that are not the bare cancel ident);
+			// a reassignment target is not a use.
+			for _, rhs := range st.Rhs {
+				if identUses(pass, rhs, obj, def) {
+					used = true
+				}
+			}
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && (pass.Info.Uses[id] == obj || pass.Info.Defs[id] == obj) {
+					continue
+				}
+				if identUses(pass, lhs, obj, def) {
+					used = true
+				}
+			}
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && id != def && pass.Info.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+func identUses(pass *Pass, e ast.Expr, obj types.Object, def *ast.Ident) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id != def && pass.Info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+func isCancelReturningCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !cancelReturningFuncs[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "context." + sel.Sel.Name
+	}
+	return "context constructor"
+}

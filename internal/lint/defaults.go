@@ -55,8 +55,31 @@ func DefaultExtraRoots() map[string][]string {
 	}
 }
 
-// DefaultAnalyzers is the stonnelint suite: the five invariant checks, in
-// the order their invariants were introduced.
+// DefaultWallClockPackages lists the simulation and result-producing
+// packages where wall-clock reads are banned (subpackages and _test
+// variants included). The serve layer measures request latency on purpose
+// and is deliberately absent: latency is an envelope field, never part of
+// the cached result bytes.
+func DefaultWallClockPackages() []string {
+	return []string{
+		"repro/internal/sim",
+		"repro/internal/engine",
+		"repro/internal/mem",
+		"repro/internal/trace",
+		"repro/internal/stats",
+		"repro/internal/jobkey",
+		"repro/internal/energy",
+		"repro/internal/comp",
+		"repro/internal/dn",
+		"repro/internal/mn",
+		"repro/internal/rn",
+	}
+}
+
+// DefaultAnalyzers is the stonnelint suite: the five PR 5 invariant checks
+// plus the five determinism/concurrency checks distilled from the bug
+// classes the serving layer surfaced (PRs 8–9), in the order their
+// invariants were introduced.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		HotPathAlloc(DefaultExtraRoots()),
@@ -64,5 +87,10 @@ func DefaultAnalyzers() []*Analyzer {
 		FloatCmp(),
 		RegistryContract(),
 		GlobalRand(),
+		MapOrder(),
+		WallClock(DefaultWallClockPackages()),
+		MutexHeld(),
+		CtxCancel(),
+		AtomicMix(),
 	}
 }

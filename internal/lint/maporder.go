@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder returns the analyzer guarding the bit-determinism contract
+// against Go's randomized map iteration. The serving layer (PR 8) keys a
+// content-addressed result cache on byte-identical outputs, and the class
+// of bug that breaks it silently is a `range` over a map whose iteration
+// order leaks into the result:
+//
+//   - float (or complex) compound accumulation — float addition is not
+//     associative, so summing in map order drifts in the last bits between
+//     identical runs. This is exactly the energy.Table.Apply regression PR 8
+//     fixed by hand: per-component energy summed `br[component(k)] += cost`
+//     over the counters map.
+//   - string concatenation — the order is the output.
+//   - append to a slice declared outside the loop — the element order is
+//     the output. The canonical collect-keys-then-sort walk is recognized:
+//     an append target that is later passed to a sort.*/slices.Sort* call
+//     in the same file is the sanctioned fix, not a finding.
+//   - writes to an ordered sink (Write/WriteString/WriteByte/WriteRune/
+//     Encode methods on anything declared outside the loop, and the
+//     fmt.Print/Fprint families) — bytes hashed or serialized in map order
+//     differ between runs.
+//
+// Order-insensitive uses stay silent: integer accumulation (associative
+// and commutative, wraps consistently), plain keyed re-insertion
+// `out[k] = v`, and compound assignment into an element indexed by the
+// range key itself (`out[k] += v` touches each target exactly once per
+// source map, so order cannot matter).
+func MapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc: "range over a map feeding float accumulation, appends, or serialization " +
+			"makes results depend on Go's randomized iteration order; walk sorted keys",
+	}
+	a.Run = func(pass *Pass) error {
+		for _, f := range pass.Files {
+			sorted := sortedTargets(pass.Info, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapExpr(pass.Info, rng.X) {
+					return true
+				}
+				checkMapRangeBody(pass, rng, sorted)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// sortedTargets collects the objects passed to a sort.* or slices.Sort*
+// call anywhere in the file: an append target that ends up sorted is the
+// sanctioned collect-then-sort walk.
+func sortedTargets(info *types.Info, f *ast.File) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		arg := call.Args[0]
+		// Unwrap a sort.Sort(byName(keys))-style conversion or wrapper.
+		if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			arg = inner.Args[0]
+		}
+		if obj := rootObject(info, arg); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkMapRangeBody flags order-sensitive statements inside one map range.
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	keyObj := rangeKeyObject(pass.Info, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, st, keyObj, sorted)
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, rng, st)
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, st *ast.AssignStmt, keyObj types.Object, sorted map[types.Object]bool) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		// `out[k] op= v` with k the range key touches each target exactly
+		// once per source map: order-insensitive by construction.
+		if idx, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+			if id, ok := idx.Index.(*ast.Ident); ok && pass.Info.Uses[id] == keyObj {
+				return
+			}
+		}
+		tv, ok := pass.Info.Types[lhs]
+		if !ok || tv.Type == nil {
+			return
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok {
+			return
+		}
+		switch {
+		case basic.Info()&(types.IsFloat|types.IsComplex) != 0:
+			pass.Reportf(st.TokPos, "float accumulation in map-iteration order: float addition is not associative, so the sum's last bits depend on Go's randomized order — iterate sorted keys")
+		case st.Tok == token.ADD_ASSIGN && basic.Info()&types.IsString != 0:
+			pass.Reportf(st.TokPos, "string concatenation in map-iteration order produces a nondeterministic result: iterate sorted keys")
+		}
+	case token.ASSIGN, token.DEFINE:
+		// `keys = append(keys, k)` into an outer slice: ordered output,
+		// unless the target is sorted afterwards (the sanctioned walk).
+		for i, rhs := range st.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if i >= len(st.Lhs) {
+				continue
+			}
+			target := rootObject(pass.Info, st.Lhs[i])
+			if target == nil || sorted[target] || !declaredOutside(target, rng) {
+				continue
+			}
+			pass.Reportf(call.Pos(), "append in map-iteration order builds a nondeterministically ordered slice: sort it afterwards or iterate sorted keys")
+		}
+	}
+}
+
+// orderedSinkMethods are method names whose calls commit bytes/values in
+// call order (writers, hashes, encoders).
+var orderedSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+func checkMapRangeCall(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	// fmt.Print / fmt.Fprint families: serialization in map order.
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		name := fn.Name()
+		if len(name) >= 5 && (name[:5] == "Print" || name[:6] == "Fprint") {
+			pass.Reportf(call.Pos(), "fmt.%s in map-iteration order serializes nondeterministically: iterate sorted keys", name)
+		}
+		return
+	}
+	// Ordered-sink method on something declared outside the loop (a writer,
+	// hash, or encoder fed in map order).
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		return
+	}
+	if !orderedSinkMethods[fn.Name()] {
+		return
+	}
+	recv := rootObject(pass.Info, sel.X)
+	if recv == nil || !declaredOutside(recv, rng) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%s.%s in map-iteration order commits bytes nondeterministically (hashes and serializations are order-sensitive): iterate sorted keys", recv.Name(), fn.Name())
+}
+
+// rangeKeyObject resolves the range statement's key variable, for the
+// out[k]-is-safe carve-out. Nil when the key is blank or omitted.
+func rangeKeyObject(info *types.Info, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// rootObject resolves an expression to the object of its leftmost
+// identifier (unwrapping selectors, indexes, parens and unary ops).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			// Resolve the selected member itself when it is a field; the
+			// leftmost root would conflate distinct fields of one struct.
+			if sel, ok := info.Selections[v]; ok {
+				return sel.Obj()
+			}
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration lies outside the range
+// statement (loop-local temporaries cannot leak order into results that
+// outlive the iteration).
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+func isMapExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedByRE parses the field annotation: `// guarded by mu` (any mutex
+// field name), in the field's trailing comment or doc comment.
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// MutexHeld returns the analyzer enforcing struct-field lock discipline:
+// a field annotated `// guarded by <mu>` may only be read or written inside
+// a function that locks that mutex on the same base expression
+// (`c.mu.Lock()` / `c.mu.RLock()` for an access to `c.field`), or whose doc
+// comment states the caller already holds it ("... caller holds mu ...").
+//
+// The check is function-granular: one Lock call anywhere in the function
+// covers all of its accesses. That is deliberately weaker than a
+// flow-sensitive happens-before analysis (which the race detector provides
+// dynamically) — what it catches statically is the common regression of a
+// new method, or a new early path in an old method, touching guarded state
+// with no locking at all, which `go test -race` only sees when a test
+// happens to race on it.
+func MutexHeld() *Analyzer {
+	a := &Analyzer{
+		Name: "mutexheld",
+		Doc: "fields annotated `guarded by mu` may only be accessed in functions that " +
+			"lock that mutex on the same receiver (or are documented caller-holds-lock)",
+	}
+	a.Run = func(pass *Pass) error {
+		guarded := collectGuardedFields(pass)
+		if len(guarded) == 0 {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkGuardedAccesses(pass, fd, guarded)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// collectGuardedFields maps each annotated field object to its mutex name.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						out[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses flags guarded-field selectors in one function that
+// the function neither locks for nor is documented to receive locked.
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	locked := lockedBases(pass, fd.Body)
+	doc := ""
+	if fd.Doc != nil {
+		doc = strings.ToLower(fd.Doc.Text())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil {
+			if s, ok := pass.Info.Selections[sel]; ok {
+				obj = s.Obj()
+			}
+		}
+		mu, ok := guarded[obj]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		if locked[base+"."+mu] {
+			return true
+		}
+		if callerHoldsLock(doc, mu) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s but %s locks neither %s.%s nor documents that its caller holds it", sel.Sel.Name, mu, fd.Name.Name, base, mu)
+		return true
+	})
+}
+
+// lockedBases collects "base.mu" strings for every mutex Lock/RLock call in
+// the body: `c.mu.Lock()` records "c.mu".
+func lockedBases(pass *Pass, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		out[types.ExprString(sel.X)] = true
+		return true
+	})
+	return out
+}
+
+// callerHoldsLock reports whether the function's doc comment declares the
+// caller-holds-lock contract for mu ("caller holds mu", "caller must hold
+// d.mu", ...).
+func callerHoldsLock(doc, mu string) bool {
+	if doc == "" || !strings.Contains(doc, "caller") {
+		return false
+	}
+	mu = strings.ToLower(mu)
+	for _, verb := range []string{"holds ", "hold "} {
+		i := 0
+		for {
+			j := strings.Index(doc[i:], verb)
+			if j < 0 {
+				break
+			}
+			rest := doc[i+j+len(verb):]
+			// Accept "holds mu", "holds the mu", "holds c.mu ...".
+			rest = strings.TrimPrefix(rest, "the ")
+			if strings.HasPrefix(rest, mu) || strings.HasPrefix(afterDot(rest), mu) {
+				return true
+			}
+			i += j + len(verb)
+		}
+	}
+	return false
+}
+
+// afterDot strips a leading "recv." qualifier ("c.mu ..." → "mu ...").
+func afterDot(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '.':
+			return s[i+1:]
+		case s[i] == ' ' || s[i] == '\n':
+			return s
+		}
+	}
+	return s
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Suppression is one //lint:ignore directive as seen by the audit mode:
+// where it is, which analyzer it silences, and the written justification.
+// Broken directives (no reason, unknown analyzer) are included with a Note
+// so the audit surfaces them instead of hiding them — though the regular
+// lint run already fails on them via the lintignore pseudo-analyzer.
+type Suppression struct {
+	File     string // absolute path; callers typically relativize
+	Line     int
+	Analyzer string
+	Reason   string
+	Note     string // "" when well-formed; "malformed" / "unknown analyzer"
+}
+
+// String renders one audit line: file:line: analyzer: reason.
+func (s Suppression) String() string {
+	reason := s.Reason
+	if s.Note != "" {
+		reason = strings.TrimSpace("[" + s.Note + "] " + reason)
+	}
+	an := s.Analyzer
+	if an == "" {
+		an = "?"
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", s.File, s.Line, an, reason)
+}
+
+// Suppressions lists every //lint:ignore directive across the loaded
+// packages, sorted by position, so the set of silenced findings is
+// reviewable in one place (and diffable against a committed allowlist in
+// CI — a new suppression then shows up in review as an allowlist edit,
+// with its reason, instead of disappearing into the code).
+func Suppressions(pkgs []*Package, analyzers []*Analyzer) []Suppression {
+	known := make(map[string]bool, len(analyzers)+1)
+	known[DirectiveAnalyzerName] = true
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	seen := make(map[string]bool)
+	var out []Suppression
+	for _, pkg := range pkgs {
+		for _, d := range collectDirectives(pkg, known) {
+			id := fmt.Sprintf("%s:%d", d.pos.Filename, d.pos.Line)
+			if seen[id] {
+				continue // a file shared between package variants
+			}
+			seen[id] = true
+			s := Suppression{
+				File:     d.pos.Filename,
+				Line:     d.pos.Line,
+				Analyzer: d.analyzer,
+				Reason:   d.reason,
+			}
+			switch {
+			case d.malformed:
+				s.Note = "malformed"
+			case d.unknownAn:
+				s.Note = "unknown analyzer"
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}

@@ -1,0 +1,44 @@
+// Package fixture exercises the atomicmix analyzer: a variable reached
+// through sync/atomic anywhere may never be read or written plainly
+// elsewhere.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits uint64
+	cold uint64 // never touched atomically: plain access is fine
+	done atomic.Bool
+}
+
+func (c *counters) inc()         { atomic.AddUint64(&c.hits, 1) }
+func (c *counters) read() uint64 { return atomic.LoadUint64(&c.hits) }
+
+func (c *counters) racyRead() uint64 {
+	return c.hits // want `hits is accessed through sync/atomic elsewhere`
+}
+
+func (c *counters) racyWrite() {
+	c.hits = 0 // want `hits is accessed through sync/atomic elsewhere`
+}
+
+func (c *counters) plainOnly() uint64 {
+	c.cold++
+	return c.cold
+}
+
+// typed atomics make the mix unrepresentable; nothing to flag.
+func (c *counters) typed() bool { return c.done.Load() }
+
+var generation uint64
+
+func bumpGeneration() uint64 { return atomic.AddUint64(&generation, 1) }
+
+func racyGeneration() uint64 {
+	return generation // want `generation is accessed through sync/atomic elsewhere`
+}
+
+func (c *counters) suppressed() uint64 {
+	//lint:ignore atomicmix single-threaded teardown path; all writers have joined
+	return c.hits
+}

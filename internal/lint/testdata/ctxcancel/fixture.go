@@ -1,0 +1,54 @@
+// Package fixture exercises the ctxcancel analyzer: every cancel func
+// returned by context.WithCancel/WithTimeout/WithDeadline must stay alive
+// — deferred, called, passed or stored — never discarded.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func discarded(ctx context.Context) context.Context {
+	ctx, _ = context.WithCancel(ctx) // want `cancel function from context.WithCancel is discarded`
+	return ctx
+}
+
+func discardedTimeout(ctx context.Context) context.Context {
+	out, _ := context.WithTimeout(ctx, time.Second) // want `cancel function from context.WithTimeout is discarded`
+	return out
+}
+
+func overwritten(ctx context.Context) context.Context {
+	ctx, cancel := context.WithCancel(ctx) // want `cancel function from context.WithCancel is never called`
+	cancel = nil
+	_ = cancel
+	return ctx
+}
+
+func deferred(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func calledOnPath(ctx context.Context, fail bool) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithDeadline(ctx, time.Unix(1, 0))
+	if fail {
+		cancel()
+	}
+	// Escaping to the caller also counts as keeping it alive.
+	return ctx, cancel
+}
+
+func storedAway(ctx context.Context, sink *[]context.CancelFunc) context.Context {
+	ctx, cancel := context.WithCancel(ctx)
+	*sink = append(*sink, cancel)
+	return ctx
+}
+
+func suppressed(ctx context.Context) context.Context {
+	//lint:ignore ctxcancel process-lifetime context; cancellation happens at exit
+	ctx, _ = context.WithCancel(ctx)
+	return ctx
+}

@@ -1,0 +1,124 @@
+// Package fixture exercises the maporder analyzer: map-iteration order
+// must never leak into accumulated, appended, concatenated or serialized
+// results.
+package fixture
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// applyShape reproduces the energy.Table.Apply regression (PR 8): several
+// counter keys collapse onto one component bucket, so the float sum per
+// bucket depends on which keys the randomized iteration visits first.
+func applyShape(counters map[string]uint64, cost map[string]float64) map[string]float64 {
+	br := map[string]float64{}
+	for counter, n := range counters {
+		br[component(counter)] += cost[counter] * float64(n) // want `float accumulation in map-iteration order`
+	}
+	return br
+}
+
+func component(counter string) string {
+	if i := strings.IndexByte(counter, '.'); i >= 0 {
+		return counter[:i]
+	}
+	return "CTRL"
+}
+
+// applyShapeSorted is the sanctioned fix: collect keys, sort, then walk.
+func applyShapeSorted(counters map[string]uint64, cost map[string]float64) map[string]float64 {
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k) // collected then sorted below: ok
+	}
+	sort.Strings(keys)
+	br := map[string]float64{}
+	for _, k := range keys {
+		br[component(k)] += cost[k] * float64(counters[k])
+	}
+	return br
+}
+
+func scalarFloatSum(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v // want `float accumulation in map-iteration order`
+	}
+	return t
+}
+
+// intSum is order-insensitive: integer addition is associative and
+// commutative and wraps consistently.
+func intSum(m map[string]uint64) uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// rekey touches each destination key exactly once per source map: plain
+// keyed assignment and range-key-indexed accumulation are both safe.
+func rekey(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+		out[k] += 1
+	}
+	return out
+}
+
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append in map-iteration order`
+	}
+	return keys
+}
+
+func concat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `string concatenation in map-iteration order`
+	}
+	return s
+}
+
+func serialize(w *strings.Builder, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf in map-iteration order`
+	}
+}
+
+func digest(m map[string][]byte) [32]byte {
+	h := sha256.New()
+	for _, v := range m {
+		h.Write(v) // want `in map-iteration order commits bytes`
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// loopLocalWriter orders nothing that outlives the iteration.
+func loopLocalWriter(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+func suppressed(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		//lint:ignore maporder probe values are powers of two, addition is exact in any order
+		t += v
+	}
+	return t
+}

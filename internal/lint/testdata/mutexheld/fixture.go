@@ -1,0 +1,64 @@
+// Package fixture exercises the mutexheld analyzer: fields annotated
+// `guarded by <mu>` may only be touched in functions that lock that mutex
+// on the same base, or that document the caller-holds-lock contract.
+package fixture
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+
+	// hot and cold share one declaration; the annotation covers both.
+	hot, cold uint64 // guarded by mu
+
+	free int // unannotated: accessible anywhere
+}
+
+func (b *box) locked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.hot++
+	return b.n + b.m["k"]
+}
+
+func (b *box) unlocked() int {
+	b.cold++     // want `cold is guarded by mu`
+	return b.n + // want `n is guarded by mu`
+		b.free
+}
+
+// bump advances n. The caller holds mu, so bump itself must not lock.
+func (b *box) bump() { b.n++ }
+
+// wrongReceiver locks its own mutex but touches another box's field.
+func (b *box) wrongReceiver(other *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return other.n // want `n is guarded by mu`
+}
+
+func (b *box) bothReceivers(other *box) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	return b.n + other.n
+}
+
+type rbox struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (r *rbox) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+func (b *box) suppressedInit() {
+	//lint:ignore mutexheld constructor-time store; the box is not shared yet
+	b.n = 0
+}

@@ -1,0 +1,32 @@
+// Package fixture exercises the wallclock analyzer: inside a restricted
+// (result-producing) package, nothing may observe real time.
+package fixture
+
+import "time"
+
+func violations() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Since(start)     // want `time.Since reads the wall clock`
+}
+
+func timers(ch chan struct{}) {
+	select {
+	case <-time.After(time.Second): // want `time.After reads the wall clock`
+	case <-ch:
+	}
+	t := time.NewTimer(time.Second) // want `time.NewTimer reads the wall clock`
+	t.Stop()
+}
+
+// pure time handling is fine: constructing instants from data, duration
+// arithmetic, and formatting do not observe the clock.
+func pure(ns int64, d time.Duration) string {
+	at := time.Unix(0, ns)
+	return at.Add(3 * d).Format(time.RFC3339)
+}
+
+func suppressed() time.Time {
+	//lint:ignore wallclock progress heartbeat only; never feeds a result or cache key
+	return time.Now()
+}

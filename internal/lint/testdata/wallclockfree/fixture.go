@@ -1,0 +1,13 @@
+// Package fixture is the wallclock analyzer's unrestricted counterpart:
+// the same wall-clock reads as the wallclock fixture, loaded as a package
+// that is NOT on the restricted list. Nothing may fire — serving-layer
+// latency measurement is exactly this shape.
+package fixture
+
+import "time"
+
+func measure(work func()) time.Duration {
+	start := time.Now()
+	work()
+	return time.Since(start)
+}

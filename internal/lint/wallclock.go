@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// wall clock. time.Unix, time.Date, time.Parse and Duration arithmetic are
+// pure and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// WallClock returns the analyzer banning wall-clock reads inside the
+// simulation and result-producing packages listed in restricted (matched by
+// import path, subpackages and _test variants included). A simulated run
+// must be a pure function of configuration plus seed: the jobkey
+// content-addressed cache, disk persistence and trace-replay digests
+// (PRs 8–9) all serve stored bytes as if they had been recomputed, which is
+// only sound while nothing in the result path can observe real time. The
+// serve layer measures request latency on purpose and is simply not listed
+// — latency is an envelope field, never part of the cached result bytes.
+func WallClock(restricted []string) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc: "time.Now/Since/Sleep and friends are banned in result-producing packages: " +
+			"simulation results must be functions of config+seed, never of real time",
+	}
+	a.Run = func(pass *Pass) error {
+		if !wallClockRestricted(pass.Pkg.Path(), restricted) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallClockFuncs[sel.Sel.Name] {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock inside a result-producing package: results must be functions of config+seed (latency measurement belongs to the serve layer)", fn.Name())
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// wallClockRestricted matches a package path (or its _test variant, or a
+// subpackage) against the restricted list.
+func wallClockRestricted(path string, restricted []string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, p := range restricted {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}

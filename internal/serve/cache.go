@@ -16,11 +16,11 @@ import (
 type Cache struct {
 	mu    sync.Mutex
 	cap   int
-	ll    *list.List // front = most recently used
-	byKey map[jobkey.Key]*list.Element
+	ll    *list.List                   // guarded by mu; front = most recently used
+	byKey map[jobkey.Key]*list.Element // guarded by mu
 
-	hits, misses, evictions uint64
-	bytes                   int64
+	hits, misses, evictions uint64 // guarded by mu
+	bytes                   int64  // guarded by mu
 
 	// disk, when set, backs the LRU with a persistent tier: entries are
 	// written through on Put and a memory miss falls back to a disk load,

@@ -60,13 +60,13 @@ type Server struct {
 	start time.Time
 
 	mu       sync.Mutex
-	inflight map[jobkey.Key]*flight
+	inflight map[jobkey.Key]*flight // guarded by mu
 
-	warmHits  uint64 // served from cache
-	coalesced uint64 // joined an identical in-flight job
-	coldRuns  uint64 // executed the simulator
-	rejected  uint64 // 429: queue full
-	failed    uint64 // jobs that errored or were cancelled
+	warmHits  uint64 // guarded by mu; served from cache
+	coalesced uint64 // guarded by mu; joined an identical in-flight job
+	coldRuns  uint64 // guarded by mu; executed the simulator
+	rejected  uint64 // guarded by mu; 429: queue full
+	failed    uint64 // guarded by mu; jobs that errored or were cancelled
 
 	warmLat, coldLat *latencyRing
 
@@ -416,9 +416,9 @@ func newLatencyRing(size int) *latencyRing {
 
 type latencyRing struct {
 	mu      sync.Mutex
-	samples []time.Duration
-	next    int
-	count   uint64
+	samples []time.Duration // guarded by mu
+	next    int             // guarded by mu
+	count   uint64          // guarded by mu
 }
 
 func (l *latencyRing) add(d time.Duration) {

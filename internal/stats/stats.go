@@ -120,11 +120,25 @@ func (r *Run) TimeSeconds(clockGHz float64) float64 {
 	return float64(r.Cycles) / (clockGHz * 1e9)
 }
 
-// TotalEnergy sums the per-component energy.
+// TotalEnergy sums the per-component energy. The walk is over sorted
+// component names: float addition is not associative, so summing in map
+// iteration order would make the total differ in the last bits from run
+// to run, breaking byte-identical summary files.
 func (r *Run) TotalEnergy() float64 {
+	return sumSorted(r.Energy)
+}
+
+// sumSorted adds the values of a float map in sorted-key order so the
+// result is the same every call.
+func sumSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var t float64
-	for _, v := range r.Energy {
-		t += v
+	for _, k := range keys {
+		t += m[k]
 	}
 	return t
 }
@@ -258,13 +272,10 @@ func (m *ModelRun) EnergyBreakdown() map[string]float64 {
 	return out
 }
 
-// TotalEnergy sums all components (µJ).
+// TotalEnergy sums all components (µJ) in sorted-component order, for the
+// same determinism reason as Run.TotalEnergy.
 func (m *ModelRun) TotalEnergy() float64 {
-	var t float64
-	for _, v := range m.EnergyBreakdown() {
-		t += v
-	}
-	return t
+	return sumSorted(m.EnergyBreakdown())
 }
 
 // AvgUtilization is the cycle-weighted mean multiplier utilization: each

@@ -91,3 +91,31 @@ func TestEmptyModelRun(t *testing.T) {
 		t.Error("empty model run not zero")
 	}
 }
+
+// TestTotalEnergyOrderIndependent pins the sorted-walk fix for summing
+// per-component energy: 1e16+1 rounds back to 1e16 in float64, so these
+// three values total 0 when added in sorted-key order (a, b, c) but 1 in
+// the order a, c, b. Before the fix the walk used Go's randomized map
+// iteration order and the total flipped between the two from call to call.
+func TestTotalEnergyOrderIndependent(t *testing.T) {
+	r := &Run{Energy: map[string]float64{"a": 1e16, "b": 1, "c": -1e16}}
+	for i := 0; i < 50; i++ {
+		if got := r.TotalEnergy(); got != 0 {
+			t.Fatalf("call %d: TotalEnergy = %v, want 0 (map-order drift)", i, got)
+		}
+	}
+}
+
+// TestModelTotalEnergyOrderIndependent is the same probe through the
+// model-level aggregation path.
+func TestModelTotalEnergyOrderIndependent(t *testing.T) {
+	mr := &ModelRun{Runs: []*Run{
+		{Energy: map[string]float64{"a": 1e16, "b": 1}},
+		{Energy: map[string]float64{"c": -1e16}},
+	}}
+	for i := 0; i < 50; i++ {
+		if got := mr.TotalEnergy(); got != 0 {
+			t.Fatalf("call %d: TotalEnergy = %v, want 0 (map-order drift)", i, got)
+		}
+	}
+}
